@@ -1,0 +1,84 @@
+// Command cmbench regenerates the paper's tables and figures from the
+// models and simulators in this repository, printing each as a text table
+// with the paper's reported values alongside.
+//
+// Usage:
+//
+//	cmbench                 # run every experiment
+//	cmbench -exp fig7,fig10 # run selected experiments
+//	cmbench -list           # list experiment IDs
+//	cmbench -csv results/   # also write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ciphermatch/internal/harness"
+	"ciphermatch/internal/perfmodel"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []harness.Experiment
+	if *exp == "all" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	model := perfmodel.NewPaperModel()
+	exitCode := 0
+	for _, e := range selected {
+		tbl, err := e.Run(model)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmbench: %s failed: %v\n", e.ID, err)
+			exitCode = 1
+			continue
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "cmbench: rendering %s: %v\n", e.ID, err)
+			exitCode = 1
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tbl); err != nil {
+				fmt.Fprintf(os.Stderr, "cmbench: writing CSV for %s: %v\n", e.ID, err)
+				exitCode = 1
+			}
+		}
+	}
+	os.Exit(exitCode)
+}
+
+func writeCSV(dir string, tbl *harness.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tbl.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tbl.WriteCSV(f)
+}

@@ -1,0 +1,80 @@
+// Command cmclient is the data-owner side of the networked CIPHERMATCH
+// deployment: it encrypts a local file, uploads the ciphertexts to a
+// cmserver, and issues encrypted searches, receiving only match indices.
+//
+// Usage:
+//
+//	cmclient -addr localhost:7448 -db corpus.txt -query "needle"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ciphermatch"
+	"ciphermatch/internal/proto"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7448", "cmserver address")
+	dbPath := flag.String("db", "", "file to upload and search (required)")
+	queryStr := flag.String("query", "", "query string (required)")
+	align := flag.Int("align", 8, "occurrence alignment in bits")
+	seed := flag.String("seed", "cmclient-default-seed", "client key/randomness seed label")
+	flag.Parse()
+
+	if *dbPath == "" || *queryStr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := ciphermatch.Config{
+		Params:    ciphermatch.ParamsPaper(),
+		AlignBits: *align,
+		Mode:      ciphermatch.ModeSeededMatch,
+	}
+	client, err := ciphermatch.NewClient(cfg, ciphermatch.NewSeed(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	dbBits := len(data) * 8
+	db, err := client.EncryptDatabase(data, dbBits)
+	if err != nil {
+		fatal(err)
+	}
+
+	conn, err := proto.Dial(*addr, cfg.Params)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.UploadDB(db); err != nil {
+		fatal(fmt.Errorf("uploading database: %w", err))
+	}
+	fmt.Printf("uploaded %d encrypted chunks (%d bytes)\n", len(db.Chunks), db.SizeBytes(cfg.Params))
+
+	query := []byte(*queryStr)
+	q, err := client.PrepareQuery(query, len(query)*8, dbBits)
+	if err != nil {
+		fatal(err)
+	}
+	candidates, err := conn.Search(q)
+	if err != nil {
+		fatal(fmt.Errorf("remote search: %w", err))
+	}
+	verified := ciphermatch.VerifyCandidates(data, dbBits, query, len(query)*8, candidates)
+	fmt.Printf("server returned %d candidates, %d verified\n", len(candidates), len(verified))
+	for _, o := range verified {
+		fmt.Printf("match at byte %d\n", o/8)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmclient:", err)
+	os.Exit(1)
+}

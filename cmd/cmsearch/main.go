@@ -1,0 +1,92 @@
+// Command cmsearch performs a homomorphically encrypted exact string
+// search over a local file: it packs and encrypts the file with the
+// CIPHERMATCH scheme, runs the addition-only search with server-side index
+// generation, verifies the candidates, and prints match offsets.
+//
+// Usage:
+//
+//	cmsearch -db corpus.txt -query "needle"
+//	cmsearch -db genome.2bit -query-hex 1B1B -align 2
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"ciphermatch"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "file to search (required)")
+	queryStr := flag.String("query", "", "query string")
+	queryHex := flag.String("query-hex", "", "query bytes in hex (alternative to -query)")
+	align := flag.Int("align", 8, "occurrence alignment in bits (8 = byte boundaries)")
+	seed := flag.String("seed", "cmsearch-default-seed", "client key/randomness seed label")
+	verify := flag.Bool("verify", true, "verify candidates against the plaintext")
+	flag.Parse()
+
+	if *dbPath == "" || (*queryStr == "" && *queryHex == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	query := []byte(*queryStr)
+	if *queryHex != "" {
+		if query, err = hex.DecodeString(*queryHex); err != nil {
+			fatal(fmt.Errorf("decoding -query-hex: %w", err))
+		}
+	}
+
+	cfg := ciphermatch.Config{
+		Params:    ciphermatch.ParamsPaper(),
+		AlignBits: *align,
+		Mode:      ciphermatch.ModeSeededMatch,
+	}
+	client, err := ciphermatch.NewClient(cfg, ciphermatch.NewSeed(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	dbBits := len(data) * 8
+	db, err := client.EncryptDatabase(data, dbBits)
+	if err != nil {
+		fatal(err)
+	}
+	server := ciphermatch.NewServer(cfg.Params, db)
+	q, err := client.PrepareQuery(query, len(query)*8, dbBits)
+	if err != nil {
+		fatal(err)
+	}
+	result, err := server.SearchAndIndex(q)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("database: %d bytes in %d encrypted chunks (%d bytes encrypted)\n",
+		len(data), len(db.Chunks), db.SizeBytes(cfg.Params))
+	fmt.Printf("query: %d bits, %d shift variants, %d homomorphic additions\n",
+		len(query)*8, len(q.Residues), result.Stats.HomAdds)
+
+	offsets := result.Candidates
+	label := "candidate"
+	if *verify {
+		offsets = ciphermatch.VerifyCandidates(data, dbBits, query, len(query)*8, offsets)
+		label = "verified match"
+	}
+	if len(offsets) == 0 {
+		fmt.Println("no matches")
+		return
+	}
+	for _, o := range offsets {
+		fmt.Printf("%s at bit offset %d (byte %d)\n", label, o, o/8)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmsearch:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Command cmserver runs a CIPHERMATCH search server: it accepts an
+// encrypted database upload and answers encrypted queries with match
+// indices, never holding any key material (§2.2's two-round HE exchange;
+// Algorithm 1 server side).
+//
+// Usage:
+//
+//	cmserver -addr :7448
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/proto"
+)
+
+func main() {
+	addr := flag.String("addr", ":7448", "listen address")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cmserver: listening on %s (BFV n=%d, log2 q=32, log2 t=16)\n",
+		l.Addr(), bfv.ParamsPaper().N)
+	srv := proto.NewServer(bfv.ParamsPaper())
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, "cmserver:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Encrypted database search (case study 2, §5.3): fixed-width key-value
+// records searched by exact key over the encrypted store; candidates map
+// back to record numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ciphermatch"
+	"ciphermatch/internal/rng"
+	"ciphermatch/internal/workload"
+)
+
+func main() {
+	src := rng.NewSourceFromString("dbsearch-example")
+	layout := workload.RecordLayout{KeyBytes: 8, ValueBytes: 24}
+
+	records := workload.RandomRecords(64, layout, src)
+	records[17].Key = "alice007"
+	records[42].Key = "bob-2024"
+
+	flat, err := workload.Flatten(records, layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbBits := len(flat) * 8
+
+	cfg := ciphermatch.Config{
+		Params:    ciphermatch.ParamsPaper(),
+		AlignBits: 8,
+		Mode:      ciphermatch.ModeSeededMatch,
+	}
+	client, err := ciphermatch.NewClient(cfg, ciphermatch.NewSeed("db-owner"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := client.EncryptDatabase(flat, dbBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := ciphermatch.NewServer(cfg.Params, db)
+	fmt.Printf("store: %d records (%d bytes) -> %d encrypted chunk(s)\n",
+		len(records), len(flat), len(db.Chunks))
+
+	for _, key := range []string{"alice007", "bob-2024", "nobody42"} {
+		qBytes, qBits, err := workload.KeyQuery(key, layout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := client.PrepareQuery(qBytes, qBits, dbBits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		result, err := server.SearchAndIndex(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verified := ciphermatch.VerifyCandidates(flat, dbBits, qBytes, qBits, result.Candidates)
+		fmt.Printf("key %-9q: ", key)
+		found := false
+		for _, o := range verified {
+			if idx, atKey := workload.RecordIndex(o, layout); atKey {
+				fmt.Printf("record %d (value %q) ", idx, records[idx].Value)
+				found = true
+			}
+		}
+		if !found {
+			fmt.Print("not present")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,421 @@
+package bfv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ciphermatch/internal/ring"
+	"ciphermatch/internal/rng"
+)
+
+var testParams = []struct {
+	name string
+	p    Params
+}{
+	{"toy", ParamsToy()},
+	{"oddq", ParamsOddQ()},
+	{"paper", ParamsPaper()},
+	{"toymul", ParamsToyMul()},
+	{"ntt-toy", ParamsNTTToy()},
+}
+
+func randomMessage(p Params, src *rng.Source) []uint64 {
+	m := make([]uint64, p.N)
+	for i := range m {
+		m[i] = src.Uniform(p.T)
+	}
+	return m
+}
+
+func setup(t *testing.T, p Params, seed string) (*Encoder, *Encryptor, *Decryptor, *Evaluator, *rng.Source) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewSourceFromString(seed)
+	sk, pk := KeyGen(p, src.Fork("keys"))
+	return NewEncoder(p), NewEncryptor(p, pk), NewDecryptor(p, sk), NewEvaluator(p), src
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, tc := range testParams {
+		if err := tc.p.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	bad := Params{N: 1000, Q: 1 << 32, T: 1 << 16, Eta: 3, RelinBaseBits: 8}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two N accepted")
+	}
+	bad = ParamsToy()
+	bad.T = bad.Q // T too large
+	if err := bad.Validate(); err == nil {
+		t.Error("oversized T accepted")
+	}
+}
+
+func TestPaperFootprintNumbers(t *testing.T) {
+	// §4.2.1 Key Insight: with the paper parameters a ciphertext is 4×
+	// the packed plaintext (2× from the tuple, 2× from 16->32 bit coeffs).
+	p := ParamsPaper()
+	if got := p.Delta(); got != 1<<16 {
+		t.Errorf("Delta = %d, want 2^16", got)
+	}
+	if got := p.QBytes(); got != 4 {
+		t.Errorf("QBytes = %d, want 4", got)
+	}
+	if got := p.PackedBitsPerCoeff(); got != 16 {
+		t.Errorf("PackedBitsPerCoeff = %d, want 16", got)
+	}
+	if got := p.CiphertextBytes(); got != 8192 {
+		t.Errorf("CiphertextBytes = %d, want 8192", got)
+	}
+	if got := p.PlaintextBytes(); got != 2048 {
+		t.Errorf("PlaintextBytes = %d, want 2048", got)
+	}
+	if got := p.ExpansionFactor(); got != 4.0 {
+		t.Errorf("ExpansionFactor = %v, want 4", got)
+	}
+}
+
+func TestEncryptDecryptRoundtrip(t *testing.T) {
+	for _, tc := range testParams {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, encryptor, dec, _, src := setup(t, tc.p, "roundtrip-"+tc.name)
+			for trial := 0; trial < 3; trial++ {
+				m := randomMessage(tc.p, src)
+				pt, err := enc.Encode(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ct := encryptor.Encrypt(pt, src.ForkIndexed("enc", trial))
+				got := enc.Decode(dec.Decrypt(ct))
+				for i := range m {
+					if got[i] != m[i] {
+						t.Fatalf("trial %d coeff %d: got %d want %d", trial, i, got[i], m[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	p := ParamsToy()
+	enc, encryptor, _, _, src := setup(t, p, "randomized")
+	pt, _ := enc.Encode(randomMessage(p, src))
+	ct1 := encryptor.Encrypt(pt, src.Fork("a"))
+	ct2 := encryptor.Encrypt(pt, src.Fork("b"))
+	r := p.Ring()
+	if r.Equal(ct1.C[0], ct2.C[0]) {
+		t.Fatal("two encryptions of the same plaintext are identical")
+	}
+}
+
+func TestEncryptionIsDeterministicPerSeed(t *testing.T) {
+	p := ParamsToy()
+	enc, encryptor, _, _, src := setup(t, p, "det")
+	pt, _ := enc.Encode(randomMessage(p, src))
+	ct1 := encryptor.Encrypt(pt, rng.NewSourceFromString("fixed"))
+	ct2 := encryptor.Encrypt(pt, rng.NewSourceFromString("fixed"))
+	r := p.Ring()
+	if !r.Equal(ct1.C[0], ct2.C[0]) || !r.Equal(ct1.C[1], ct2.C[1]) {
+		t.Fatal("same randomness source must give identical ciphertexts")
+	}
+}
+
+func TestEncryptC0MatchesEncrypt(t *testing.T) {
+	// The seeded match-token mode depends on EncryptC0 replaying the
+	// randomness stream of Encrypt exactly.
+	for _, tc := range testParams {
+		p := tc.p
+		enc, encryptor, _, _, src := setup(t, p, "c0-"+tc.name)
+		pt, _ := enc.Encode(randomMessage(p, src))
+		full := encryptor.Encrypt(pt, rng.NewSourceFromString("shared-seed"))
+		c0 := encryptor.EncryptC0(pt, rng.NewSourceFromString("shared-seed"))
+		if !p.Ring().Equal(full.C[0], c0) {
+			t.Fatalf("%s: EncryptC0 != Encrypt.C[0]", tc.name)
+		}
+	}
+}
+
+func TestHomAdd(t *testing.T) {
+	for _, tc := range testParams {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, encryptor, dec, ev, src := setup(t, tc.p, "add-"+tc.name)
+			ma := randomMessage(tc.p, src)
+			mb := randomMessage(tc.p, src)
+			pa, _ := enc.Encode(ma)
+			pb, _ := enc.Encode(mb)
+			ca := encryptor.Encrypt(pa, src.Fork("a"))
+			cb := encryptor.Encrypt(pb, src.Fork("b"))
+			sum := ev.Add(ca, cb)
+			got := enc.Decode(dec.Decrypt(sum))
+			for i := range ma {
+				want := (ma[i] + mb[i]) % tc.p.T
+				if got[i] != want {
+					t.Fatalf("coeff %d: got %d want %d", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestAddInto(t *testing.T) {
+	p := ParamsToy()
+	enc, encryptor, dec, ev, src := setup(t, p, "addinto")
+	ma, mb := randomMessage(p, src), randomMessage(p, src)
+	pa, _ := enc.Encode(ma)
+	pb, _ := enc.Encode(mb)
+	ca := encryptor.Encrypt(pa, src.Fork("a"))
+	cb := encryptor.Encrypt(pb, src.Fork("b"))
+	out := ca.Clone()
+	if err := ev.AddInto(ca, cb, out); err != nil {
+		t.Fatal(err)
+	}
+	got := enc.Decode(dec.Decrypt(out))
+	for i := range ma {
+		if got[i] != (ma[i]+mb[i])%p.T {
+			t.Fatalf("coeff %d mismatch", i)
+		}
+	}
+	// Aliased output.
+	if err := ev.AddInto(ca, cb, ca); err != nil {
+		t.Fatal(err)
+	}
+	got = enc.Decode(dec.Decrypt(ca))
+	for i := range ma {
+		if got[i] != (ma[i]+mb[i])%p.T {
+			t.Fatalf("aliased coeff %d mismatch", i)
+		}
+	}
+	// Degree mismatch must error.
+	three := &Ciphertext{C: []ring.Poly{ca.C[0], ca.C[1], ca.C[0]}}
+	if err := ev.AddInto(three, cb, out); err == nil {
+		t.Fatal("AddInto accepted mismatched degrees")
+	}
+}
+
+func TestHomSubNeg(t *testing.T) {
+	p := ParamsToy()
+	enc, encryptor, dec, ev, src := setup(t, p, "subneg")
+	ma, mb := randomMessage(p, src), randomMessage(p, src)
+	pa, _ := enc.Encode(ma)
+	pb, _ := enc.Encode(mb)
+	ca := encryptor.Encrypt(pa, src.Fork("a"))
+	cb := encryptor.Encrypt(pb, src.Fork("b"))
+	diff := enc.Decode(dec.Decrypt(ev.Sub(ca, cb)))
+	neg := enc.Decode(dec.Decrypt(ev.Neg(ca)))
+	for i := range ma {
+		wantDiff := (ma[i] + p.T - mb[i]) % p.T
+		wantNeg := (p.T - ma[i]) % p.T
+		if diff[i] != wantDiff {
+			t.Fatalf("sub coeff %d: got %d want %d", i, diff[i], wantDiff)
+		}
+		if neg[i] != wantNeg {
+			t.Fatalf("neg coeff %d: got %d want %d", i, neg[i], wantNeg)
+		}
+	}
+}
+
+func TestPlainOps(t *testing.T) {
+	p := ParamsToy()
+	enc, encryptor, dec, ev, src := setup(t, p, "plain")
+	ma, mb := randomMessage(p, src), randomMessage(p, src)
+	pa, _ := enc.Encode(ma)
+	pb, _ := enc.Encode(mb)
+	ca := encryptor.Encrypt(pa, src.Fork("a"))
+
+	addP := enc.Decode(dec.Decrypt(ev.AddPlain(ca, pb)))
+	subP := enc.Decode(dec.Decrypt(ev.SubPlain(ca, pb)))
+	for i := range ma {
+		if addP[i] != (ma[i]+mb[i])%p.T {
+			t.Fatalf("AddPlain coeff %d mismatch", i)
+		}
+		if subP[i] != (ma[i]+p.T-mb[i])%p.T {
+			t.Fatalf("SubPlain coeff %d mismatch", i)
+		}
+	}
+
+	// MulPlain must equal the plaintext-ring negacyclic product. MulPlain
+	// noise grows by a factor of n·|pt|, so use a binary multiplier (the
+	// form the Boolean/arithmetic baselines use) to stay within budget.
+	bits := make([]uint64, p.N)
+	for i := range bits {
+		bits[i] = src.Uniform(2)
+	}
+	pBits, _ := enc.Encode(bits)
+	mulP := enc.Decode(dec.Decrypt(ev.MulPlain(ca, pBits)))
+	rt := ring.MustNew(p.N, p.T)
+	want := rt.NewPoly()
+	rt.MulSchoolbook(ring.Poly(ma), ring.Poly(bits), want)
+	for i := range want {
+		if mulP[i] != want[i] {
+			t.Fatalf("MulPlain coeff %d: got %d want %d", i, mulP[i], want[i])
+		}
+	}
+}
+
+func TestHomMul(t *testing.T) {
+	for _, name := range []string{"toymul", "ntt-toy"} {
+		var p Params
+		for _, tc := range testParams {
+			if tc.name == name {
+				p = tc.p
+			}
+		}
+		t.Run(name, func(t *testing.T) {
+			enc, encryptor, dec, ev, src := setup(t, p, "mul-"+name)
+			// Small messages keep the product noise comfortably in budget.
+			ma := make([]uint64, p.N)
+			mb := make([]uint64, p.N)
+			for i := range ma {
+				ma[i] = src.Uniform(2)
+				mb[i] = src.Uniform(2)
+			}
+			pa, _ := enc.Encode(ma)
+			pb, _ := enc.Encode(mb)
+			ca := encryptor.Encrypt(pa, src.Fork("a"))
+			cb := encryptor.Encrypt(pb, src.Fork("b"))
+			prod, err := ev.Mul(ca, cb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prod.Degree() != 2 {
+				t.Fatalf("product degree = %d, want 2", prod.Degree())
+			}
+			got := enc.Decode(dec.Decrypt(prod))
+			rt := ring.MustNew(p.N, p.T)
+			want := rt.NewPoly()
+			rt.MulSchoolbook(ring.Poly(ma), ring.Poly(mb), want)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("coeff %d: got %d want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRelinearize(t *testing.T) {
+	p := ParamsToyMul()
+	enc, encryptor, dec, ev, src := setup(t, p, "relin")
+	sk, pk := KeyGen(p, rng.NewSourceFromString("relin-keys"))
+	encryptor = NewEncryptor(p, pk)
+	dec = NewDecryptor(p, sk)
+	rlk := NewRelinKey(p, sk, rng.NewSourceFromString("rlk"))
+
+	ma := make([]uint64, p.N)
+	mb := make([]uint64, p.N)
+	for i := range ma {
+		ma[i] = src.Uniform(2)
+		mb[i] = src.Uniform(2)
+	}
+	pa, _ := enc.Encode(ma)
+	pb, _ := enc.Encode(mb)
+	ca := encryptor.Encrypt(pa, src.Fork("a"))
+	cb := encryptor.Encrypt(pb, src.Fork("b"))
+	prod, err := ev.MulRelin(ca, cb, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Degree() != 1 {
+		t.Fatalf("relinearised degree = %d, want 1", prod.Degree())
+	}
+	got := enc.Decode(dec.Decrypt(prod))
+	rt := ring.MustNew(p.N, p.T)
+	want := rt.NewPoly()
+	rt.MulSchoolbook(ring.Poly(ma), ring.Poly(mb), want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coeff %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	// A relinearised product must still support homomorphic addition.
+	sum := ev.Add(prod, prod)
+	got = enc.Decode(dec.Decrypt(sum))
+	for i := range want {
+		if got[i] != (2*want[i])%p.T {
+			t.Fatalf("post-relin add coeff %d mismatch", i)
+		}
+	}
+}
+
+func TestNoiseBudget(t *testing.T) {
+	p := ParamsToy()
+	enc, encryptor, dec, ev, src := setup(t, p, "noise")
+	pt, _ := enc.Encode(randomMessage(p, src))
+	ct := encryptor.Encrypt(pt, src.Fork("e"))
+	fresh := dec.NoiseBudgetBits(ct)
+	if fresh <= 0 {
+		t.Fatalf("fresh ciphertext has non-positive noise budget: %v", fresh)
+	}
+	sum := ev.Add(ct, ct)
+	after := dec.NoiseBudgetBits(sum)
+	if after > fresh {
+		t.Fatalf("noise budget increased after addition: %v -> %v", fresh, after)
+	}
+	if dec.NoiseInfNorm(ct) == 0 {
+		t.Fatal("fresh ciphertext has zero noise; encryption is leaking plaintexts")
+	}
+}
+
+func TestHomAddQuick(t *testing.T) {
+	p := ParamsToy()
+	enc, encryptor, dec, ev, _ := setup(t, p, "quick")
+	f := func(rawA, rawB []uint16, seed int64) bool {
+		ma := make([]uint64, p.N)
+		mb := make([]uint64, p.N)
+		for i := 0; i < p.N && i < len(rawA); i++ {
+			ma[i] = uint64(rawA[i])
+		}
+		for i := 0; i < p.N && i < len(rawB); i++ {
+			mb[i] = uint64(rawB[i])
+		}
+		pa, _ := enc.Encode(ma)
+		pb, _ := enc.Encode(mb)
+		src := rng.NewSourceFromString(string(rune(seed)))
+		ca := encryptor.Encrypt(pa, src.Fork("a"))
+		cb := encryptor.Encrypt(pb, src.Fork("b"))
+		got := enc.Decode(dec.Decrypt(ev.Add(ca, cb)))
+		for i := range ma {
+			if got[i] != (ma[i]+mb[i])%p.T {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	p := ParamsToy()
+	enc := NewEncoder(p)
+	if _, err := enc.Encode(make([]uint64, p.N+1)); err == nil {
+		t.Error("Encode accepted too many values")
+	}
+	if _, err := enc.Encode([]uint64{p.T}); err == nil {
+		t.Error("Encode accepted out-of-range value")
+	}
+	if _, err := enc.EncodeUint16([]uint16{0xFFFF}); err != nil {
+		t.Errorf("EncodeUint16 rejected valid value: %v", err)
+	}
+}
+
+func TestMulRequiresDegreeOne(t *testing.T) {
+	p := ParamsToyMul()
+	enc, encryptor, _, ev, src := setup(t, p, "deg")
+	pt, _ := enc.Encode(make([]uint64, p.N))
+	ca := encryptor.Encrypt(pt, src.Fork("a"))
+	cb := encryptor.Encrypt(pt, src.Fork("b"))
+	prod, _ := ev.Mul(ca, cb)
+	if _, err := ev.Mul(prod, cb); err == nil {
+		t.Error("Mul accepted a degree-2 input")
+	}
+	if _, err := ev.Relinearize(ca, nil); err == nil {
+		t.Error("Relinearize accepted a degree-1 input")
+	}
+}

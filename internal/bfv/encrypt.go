@@ -1,0 +1,226 @@
+package bfv
+
+import (
+	"fmt"
+
+	"ciphermatch/internal/mathutil"
+	"ciphermatch/internal/ring"
+	"ciphermatch/internal/rng"
+)
+
+// Plaintext is a polynomial with coefficients in [0, T).
+type Plaintext struct {
+	Coeffs ring.Poly
+}
+
+// Ciphertext is a BFV ciphertext of degree len(C)-1. Fresh ciphertexts have
+// two components; an unrelinearised product has three.
+type Ciphertext struct {
+	C []ring.Poly
+}
+
+// Degree returns the ciphertext degree (1 for fresh ciphertexts).
+func (ct *Ciphertext) Degree() int { return len(ct.C) - 1 }
+
+// SizeBytes returns the serialised size used by the paper's footprint
+// accounting: components × n × ceil(log2 q / 8).
+func (ct *Ciphertext) SizeBytes(p Params) int {
+	return len(ct.C) * p.N * p.QBytes()
+}
+
+// Clone deep-copies the ciphertext.
+func (ct *Ciphertext) Clone() *Ciphertext {
+	out := &Ciphertext{C: make([]ring.Poly, len(ct.C))}
+	for i := range ct.C {
+		out.C[i] = make(ring.Poly, len(ct.C[i]))
+		copy(out.C[i], ct.C[i])
+	}
+	return out
+}
+
+// Encoder packs integer vectors into plaintext polynomials
+// (coefficient encoding, as in §4.2.1).
+type Encoder struct {
+	params Params
+}
+
+// NewEncoder returns an Encoder for the given parameters.
+func NewEncoder(p Params) *Encoder { return &Encoder{params: p} }
+
+// Encode places values[i] into coefficient i. Values must be < T; fewer
+// than N values are zero-padded.
+func (e *Encoder) Encode(values []uint64) (*Plaintext, error) {
+	if len(values) > e.params.N {
+		return nil, fmt.Errorf("bfv: %d values exceed ring degree %d", len(values), e.params.N)
+	}
+	pt := &Plaintext{Coeffs: make(ring.Poly, e.params.N)}
+	for i, v := range values {
+		if v >= e.params.T {
+			return nil, fmt.Errorf("bfv: value %d at index %d exceeds plaintext modulus %d", v, i, e.params.T)
+		}
+		pt.Coeffs[i] = v
+	}
+	return pt, nil
+}
+
+// EncodeUint16 packs 16-bit segments, the CIPHERMATCH packing unit for the
+// paper parameters (t = 2^16).
+func (e *Encoder) EncodeUint16(values []uint16) (*Plaintext, error) {
+	u := make([]uint64, len(values))
+	for i, v := range values {
+		u[i] = uint64(v)
+	}
+	return e.Encode(u)
+}
+
+// Decode extracts the coefficient vector of a plaintext.
+func (e *Encoder) Decode(pt *Plaintext) []uint64 {
+	out := make([]uint64, e.params.N)
+	copy(out, pt.Coeffs)
+	return out
+}
+
+// Encryptor encrypts plaintexts under a public key.
+type Encryptor struct {
+	params Params
+	ring   *ring.Ring
+	pk     *PublicKey
+}
+
+// NewEncryptor returns an Encryptor for pk.
+func NewEncryptor(p Params, pk *PublicKey) *Encryptor {
+	return &Encryptor{params: p, ring: p.Ring(), pk: pk}
+}
+
+// Encrypt encrypts pt, drawing randomness from src in the fixed order
+// (u ternary, e0 CBD, e1 CBD). The order is part of the package contract:
+// the seeded match-token mode re-derives ciphertext randomness by replaying
+// a forked source through this function.
+func (enc *Encryptor) Encrypt(pt *Plaintext, src *rng.Source) *Ciphertext {
+	r := enc.ring
+	u := r.NewPoly()
+	r.TernaryPoly(src, u)
+	e0 := r.NewPoly()
+	r.CBDPoly(src, enc.params.Eta, e0)
+	e1 := r.NewPoly()
+	r.CBDPoly(src, enc.params.Eta, e1)
+
+	c0 := r.NewPoly()
+	r.Mul(enc.pk.P0, u, c0)
+	r.Add(c0, e0, c0)
+	delta := enc.params.Delta()
+	scaled := r.NewPoly()
+	r.MulScalar(pt.Coeffs, delta, scaled)
+	r.Add(c0, scaled, c0)
+
+	c1 := r.NewPoly()
+	r.Mul(enc.pk.P1, u, c1)
+	r.Add(c1, e1, c1)
+	return &Ciphertext{C: []ring.Poly{c0, c1}}
+}
+
+// EncryptC0 computes only the first ciphertext component for pt with the
+// randomness stream src, consuming src exactly as Encrypt does. The seeded
+// match-token construction (internal/core) uses this to build the expected
+// hit value of a homomorphic addition without the second component.
+func (enc *Encryptor) EncryptC0(pt *Plaintext, src *rng.Source) ring.Poly {
+	r := enc.ring
+	u := r.NewPoly()
+	r.TernaryPoly(src, u)
+	e0 := r.NewPoly()
+	r.CBDPoly(src, enc.params.Eta, e0)
+	e1 := r.NewPoly()
+	r.CBDPoly(src, enc.params.Eta, e1) // consumed to keep stream alignment
+	_ = e1
+
+	c0 := r.NewPoly()
+	r.Mul(enc.pk.P0, u, c0)
+	r.Add(c0, e0, c0)
+	delta := enc.params.Delta()
+	scaled := r.NewPoly()
+	r.MulScalar(pt.Coeffs, delta, scaled)
+	r.Add(c0, scaled, c0)
+	return c0
+}
+
+// Decryptor decrypts ciphertexts with the secret key.
+type Decryptor struct {
+	params Params
+	ring   *ring.Ring
+	sk     *SecretKey
+}
+
+// NewDecryptor returns a Decryptor for sk.
+func NewDecryptor(p Params, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: p, ring: p.Ring(), sk: sk}
+}
+
+// phase computes c0 + c1·s + c2·s² + ... mod q.
+func (dec *Decryptor) phase(ct *Ciphertext) ring.Poly {
+	r := dec.ring
+	acc := r.Clone(ct.C[0])
+	sPow := r.Clone(dec.sk.S)
+	tmp := r.NewPoly()
+	for i := 1; i < len(ct.C); i++ {
+		r.Mul(ct.C[i], sPow, tmp)
+		r.Add(acc, tmp, acc)
+		if i+1 < len(ct.C) {
+			next := r.NewPoly()
+			r.Mul(sPow, dec.sk.S, next)
+			sPow = next
+		}
+	}
+	return acc
+}
+
+// Decrypt recovers the plaintext: m = round(t·phase/q) mod t.
+func (dec *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	r := dec.ring
+	ph := dec.phase(ct)
+	lift := make([]int64, r.N())
+	r.CenterLift(ph, lift)
+	x := make([]mathutil.Int128, r.N())
+	for i := range lift {
+		x[i] = mathutil.Int128FromInt64(lift[i])
+	}
+	out := make(ring.Poly, r.N())
+	r.ScaleRoundMod(x, dec.params.T, dec.params.T, out)
+	return &Plaintext{Coeffs: out}
+}
+
+// NoiseInfNorm returns the infinity norm of the ciphertext noise: the
+// centered magnitude of phase - Δ·m, where m is the decrypted plaintext.
+func (dec *Decryptor) NoiseInfNorm(ct *Ciphertext) uint64 {
+	r := dec.ring
+	ph := dec.phase(ct)
+	m := dec.Decrypt(ct)
+	scaled := r.NewPoly()
+	r.MulScalar(m.Coeffs, dec.params.Delta(), scaled)
+	diff := r.NewPoly()
+	r.Sub(ph, scaled, diff)
+	return r.InfNormCentered(diff)
+}
+
+// NoiseBudgetBits returns the remaining noise budget in bits: decryption
+// stays correct while the budget is positive. Defined as
+// log2(Δ/2) - log2(noise+1).
+func (dec *Decryptor) NoiseBudgetBits(ct *Ciphertext) float64 {
+	noise := dec.NoiseInfNorm(ct)
+	budget := log2u(dec.params.Delta()/2) - log2u(noise+1)
+	return budget
+}
+
+func log2u(v uint64) float64 {
+	if v == 0 {
+		return 0
+	}
+	// log2 via bit length plus fractional correction.
+	n := 0
+	x := v
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	frac := float64(v)/float64(uint64(1)<<uint(n)) - 1 // in [0,1)
+	return float64(n) + frac                           // linear approximation, fine for diagnostics
+}

@@ -1,0 +1,120 @@
+package bfv
+
+import (
+	"fmt"
+
+	"ciphermatch/internal/ring"
+	"ciphermatch/internal/rng"
+)
+
+// This file implements Galois automorphisms φ_k: a(X) → a(X^k) for odd k,
+// with key switching back to the original secret. These are the
+// "homomorphic rotation" operations that the scalable arithmetic baselines
+// (Kim et al. [34], Bonte et al. [29]) spend their time in (§3.1) — and
+// that CIPHERMATCH eliminates entirely. They are provided so the cost of
+// that design point can be measured on this substrate.
+
+// GaloisKey enables key switching after the automorphism X -> X^k.
+type GaloisKey struct {
+	K        int
+	Rows     [][2]ring.Poly
+	BaseBits uint
+}
+
+// NewGaloisKey generates the switching key for φ_k under sk. k must be odd
+// (even k are not ring automorphisms of Z[X]/(X^n+1)).
+func NewGaloisKey(p Params, sk *SecretKey, k int, src *rng.Source) (*GaloisKey, error) {
+	if k%2 == 0 || k <= 0 {
+		return nil, fmt.Errorf("bfv: Galois element k=%d must be odd and positive", k)
+	}
+	r := p.Ring()
+	sPhi := r.NewPoly()
+	applyAutomorphism(r, sk.S, k, sPhi)
+
+	w := p.RelinBaseBits
+	numRows := int((r.LogQ() + w - 1) / w)
+	rows := make([][2]ring.Poly, numRows)
+	pow := r.Clone(sPhi) // 2^{w·i}·φ(s)
+	for i := 0; i < numRows; i++ {
+		a := r.NewPoly()
+		r.UniformPoly(src, a)
+		e := r.NewPoly()
+		r.CBDPoly(src, p.Eta, e)
+		b := r.NewPoly()
+		r.Mul(a, sk.S, b)
+		r.Add(b, e, b)
+		r.Neg(b, b)
+		r.Add(b, pow, b)
+		rows[i] = [2]ring.Poly{b, a}
+		r.MulScalar(pow, 1<<w, pow)
+	}
+	return &GaloisKey{K: k, Rows: rows, BaseBits: w}, nil
+}
+
+// applyAutomorphism computes out = a(X^k) in Z_q[X]/(X^n+1): coefficient i
+// moves to position i·k mod 2n, negating when it wraps past n.
+func applyAutomorphism(r *ring.Ring, a ring.Poly, k int, out ring.Poly) {
+	n := r.N()
+	q := r.Q()
+	for i := range out {
+		out[i] = 0
+	}
+	for i, c := range a {
+		pos := (i * k) % (2 * n)
+		if pos < n {
+			out[pos] = c
+		} else if c != 0 {
+			out[pos-n] = q - c
+		}
+	}
+}
+
+// Automorphism applies φ_k to a degree-1 ciphertext and switches the key
+// back to s using gk, so the result decrypts under the original secret.
+func (ev *Evaluator) Automorphism(ct *Ciphertext, gk *GaloisKey) (*Ciphertext, error) {
+	if len(ct.C) != 2 {
+		return nil, fmt.Errorf("bfv: Automorphism requires a degree-1 ciphertext (got degree %d)", len(ct.C)-1)
+	}
+	r := ev.ring
+	phi0 := r.NewPoly()
+	phi1 := r.NewPoly()
+	applyAutomorphism(r, ct.C[0], gk.K, phi0)
+	applyAutomorphism(r, ct.C[1], gk.K, phi1)
+
+	// Key switch: φ(c1) decrypts against φ(s); fold it through the key
+	// rows so the output decrypts against s.
+	w := gk.BaseBits
+	mask := uint64(1)<<w - 1
+	c0 := phi0
+	c1 := r.NewPoly()
+	digit := r.NewPoly()
+	tmp := r.NewPoly()
+	for i, row := range gk.Rows {
+		shift := uint(i) * w
+		for j, c := range phi1 {
+			digit[j] = (c >> shift) & mask
+		}
+		r.Mul(row[0], digit, tmp)
+		r.Add(c0, tmp, c0)
+		r.Mul(row[1], digit, tmp)
+		r.Add(c1, tmp, c1)
+	}
+	return &Ciphertext{C: []ring.Poly{c0, c1}}, nil
+}
+
+// AutomorphismPlain applies φ_k to a plaintext (the reference the
+// homomorphic version is tested against).
+func (ev *Evaluator) AutomorphismPlain(pt *Plaintext, k int) *Plaintext {
+	n := ev.params.N
+	t := ev.params.T
+	out := make(ring.Poly, n)
+	for i, c := range pt.Coeffs {
+		pos := (i * k) % (2 * n)
+		if pos < n {
+			out[pos] = c
+		} else if c != 0 {
+			out[pos-n] = t - c
+		}
+	}
+	return &Plaintext{Coeffs: out}
+}

@@ -1,0 +1,98 @@
+package bfv
+
+import (
+	"testing"
+
+	"ciphermatch/internal/rng"
+)
+
+func TestAutomorphismMatchesPlainReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Params
+	}{{"toymul", ParamsToyMul()}, {"ntt-toy", ParamsNTTToy()}} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.p
+			src := rng.NewSourceFromString("galois-" + tc.name)
+			sk, pk := KeyGen(p, src.Fork("keys"))
+			enc := NewEncoder(p)
+			encryptor := NewEncryptor(p, pk)
+			dec := NewDecryptor(p, sk)
+			ev := NewEvaluator(p)
+
+			msg := make([]uint64, p.N)
+			for i := range msg {
+				msg[i] = src.Uniform(p.T)
+			}
+			pt, err := enc.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct := encryptor.Encrypt(pt, src.Fork("e"))
+
+			for _, k := range []int{3, 5, 2*p.N - 1} {
+				gk, err := NewGaloisKey(p, sk, k, src.ForkIndexed("gk", k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				rotated, err := ev.Automorphism(ct, gk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := dec.Decrypt(rotated)
+				want := ev.AutomorphismPlain(pt, k)
+				for i := range want.Coeffs {
+					if got.Coeffs[i] != want.Coeffs[i] {
+						t.Fatalf("k=%d coeff %d: got %d want %d", k, i, got.Coeffs[i], want.Coeffs[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAutomorphismComposition(t *testing.T) {
+	// φ_3 ∘ φ_3 = φ_9 (mod 2n) on plaintexts.
+	p := ParamsToyMul()
+	ev := NewEvaluator(p)
+	src := rng.NewSourceFromString("compose")
+	msg := make([]uint64, p.N)
+	for i := range msg {
+		msg[i] = src.Uniform(p.T)
+	}
+	pt := &Plaintext{Coeffs: append([]uint64(nil), msg...)}
+	twice := ev.AutomorphismPlain(ev.AutomorphismPlain(pt, 3), 3)
+	nine := ev.AutomorphismPlain(pt, 9%(2*p.N))
+	for i := range twice.Coeffs {
+		if twice.Coeffs[i] != nine.Coeffs[i] {
+			t.Fatalf("composition mismatch at %d", i)
+		}
+	}
+}
+
+func TestGaloisKeyValidation(t *testing.T) {
+	p := ParamsToyMul()
+	src := rng.NewSourceFromString("gk-val")
+	sk, pk := KeyGen(p, src.Fork("keys"))
+	if _, err := NewGaloisKey(p, sk, 4, src); err == nil {
+		t.Error("even Galois element accepted")
+	}
+	gk, err := NewGaloisKey(p, sk, 3, src.Fork("gk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Automorphism must reject non-degree-1 ciphertexts.
+	ev := NewEvaluator(p)
+	enc := NewEncoder(p)
+	encryptor := NewEncryptor(p, pk)
+	pt, _ := enc.Encode(make([]uint64, p.N))
+	ca := encryptor.Encrypt(pt, src.Fork("a"))
+	cb := encryptor.Encrypt(pt, src.Fork("b"))
+	prod, err := ev.Mul(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Automorphism(prod, gk); err == nil {
+		t.Error("degree-2 ciphertext accepted by Automorphism")
+	}
+}

@@ -1,0 +1,71 @@
+package bfv
+
+import (
+	"ciphermatch/internal/ring"
+	"ciphermatch/internal/rng"
+)
+
+// SecretKey holds the ternary secret polynomial s.
+type SecretKey struct {
+	S ring.Poly
+}
+
+// PublicKey holds the encryption key pair (P0, P1) = (-(a·s + e), a).
+type PublicKey struct {
+	P0, P1 ring.Poly
+}
+
+// RelinKey holds the relinearisation key: one row per base-2^w digit of the
+// quadratic ciphertext component, Row[i] = (-(a_i·s + e_i) + 2^{w·i}·s², a_i).
+type RelinKey struct {
+	Rows     [][2]ring.Poly
+	BaseBits uint
+}
+
+// KeyGen generates a secret/public key pair from the given randomness
+// source. Sampling order: s (ternary), a (uniform), e (CBD).
+func KeyGen(p Params, src *rng.Source) (*SecretKey, *PublicKey) {
+	r := p.Ring()
+	sk := &SecretKey{S: r.NewPoly()}
+	r.TernaryPoly(src, sk.S)
+
+	a := r.NewPoly()
+	r.UniformPoly(src, a)
+	e := r.NewPoly()
+	r.CBDPoly(src, p.Eta, e)
+
+	p0 := r.NewPoly()
+	r.Mul(a, sk.S, p0)
+	r.Add(p0, e, p0)
+	r.Neg(p0, p0)
+	return sk, &PublicKey{P0: p0, P1: a}
+}
+
+// NewRelinKey generates a relinearisation key for sk. Sampling order per
+// row: a_i (uniform), e_i (CBD).
+func NewRelinKey(p Params, sk *SecretKey, src *rng.Source) *RelinKey {
+	r := p.Ring()
+	s2 := r.NewPoly()
+	r.Mul(sk.S, sk.S, s2)
+
+	w := p.RelinBaseBits
+	numRows := int((r.LogQ() + w - 1) / w)
+	rows := make([][2]ring.Poly, numRows)
+	pow := r.NewPoly() // 2^{w·i}·s², updated each row
+	r.Copy(pow, s2)
+	for i := 0; i < numRows; i++ {
+		a := r.NewPoly()
+		r.UniformPoly(src, a)
+		e := r.NewPoly()
+		r.CBDPoly(src, p.Eta, e)
+		b := r.NewPoly()
+		r.Mul(a, sk.S, b)
+		r.Add(b, e, b)
+		r.Neg(b, b)
+		r.Add(b, pow, b)
+		rows[i] = [2]ring.Poly{b, a}
+		// pow <- pow * 2^w for the next digit.
+		r.MulScalar(pow, 1<<w, pow)
+	}
+	return &RelinKey{Rows: rows, BaseBits: w}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/mathutil"
+	"ciphermatch/internal/rng"
+)
+
+// BooleanMatcher implements the Boolean baseline (§2.2): every database and
+// query bit is encrypted in its own ciphertext, and matching evaluates
+// XNOR gates followed by an AND tree per candidate position. The paper's
+// baseline [17] uses TFHE; here the gates run over per-bit BFV with t = 2
+// (see DESIGN.md substitutions): XNOR(a,b) = 1 + a + b over GF(2) costs
+// only additions, while every AND is a homomorphic multiplication — so the
+// defining cost structure (per-bit ciphertexts, whole-database traversal,
+// one expensive gate per bit of every window) is preserved.
+//
+// The modulus of bfv.ParamsBoolean supports AND trees of depth 4, i.e.
+// queries up to 16 bits; that is ample for the functional demonstration,
+// while the analytic model in internal/perfmodel covers the paper-scale
+// workloads with TFHE gate constants.
+type BooleanMatcher struct {
+	params    bfv.Params
+	enc       *bfv.Encoder
+	encryptor *bfv.Encryptor
+	decryptor *bfv.Decryptor
+	ev        *bfv.Evaluator
+	rlk       *bfv.RelinKey
+	onePT     *bfv.Plaintext
+}
+
+// BooleanStats counts the gates evaluated by a search.
+type BooleanStats struct {
+	XNORGates int
+	ANDGates  int
+}
+
+// NewBooleanMatcher creates the Boolean baseline matcher. params should be
+// bfv.ParamsBoolean() (t must be 2).
+func NewBooleanMatcher(params bfv.Params, src *rng.Source) (*BooleanMatcher, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.T != 2 {
+		return nil, fmt.Errorf("core: BooleanMatcher requires t=2, got %d", params.T)
+	}
+	sk, pk := bfv.KeyGen(params, src.Fork("bool-keys"))
+	rlk := bfv.NewRelinKey(params, sk, src.Fork("bool-rlk"))
+	enc := bfv.NewEncoder(params)
+	one, err := enc.Encode([]uint64{1})
+	if err != nil {
+		return nil, err
+	}
+	return &BooleanMatcher{
+		params:    params,
+		enc:       enc,
+		encryptor: bfv.NewEncryptor(params, pk),
+		decryptor: bfv.NewDecryptor(params, sk),
+		ev:        bfv.NewEvaluator(params),
+		rlk:       rlk,
+		onePT:     one,
+	}, nil
+}
+
+// EncryptBits encrypts each of the first bitLen bits of data into its own
+// ciphertext — the per-bit packing whose footprint blow-up Fig. 2(a)
+// quantifies.
+func (m *BooleanMatcher) EncryptBits(data []byte, bitLen int, src *rng.Source) ([]*bfv.Ciphertext, error) {
+	out := make([]*bfv.Ciphertext, bitLen)
+	for i := 0; i < bitLen; i++ {
+		pt, err := m.enc.Encode([]uint64{uint64(mathutil.GetBit(data, i))})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m.encryptor.Encrypt(pt, src.ForkIndexed("bit", i))
+	}
+	return out, nil
+}
+
+// xnor computes XNOR(a, b) = 1 + a + b over t = 2 — additions only.
+func (m *BooleanMatcher) xnor(a, b *bfv.Ciphertext, stats *BooleanStats) *bfv.Ciphertext {
+	stats.XNORGates++
+	return m.ev.AddPlain(m.ev.Add(a, b), m.onePT)
+}
+
+// and computes AND(a, b) by homomorphic multiplication with
+// relinearisation — the expensive gate.
+func (m *BooleanMatcher) and(a, b *bfv.Ciphertext, stats *BooleanStats) (*bfv.Ciphertext, error) {
+	stats.ANDGates++
+	return m.ev.MulRelin(a, b, m.rlk)
+}
+
+// MatchAt returns an encryption of 1 iff the query bits equal the database
+// bits starting at offset o: an XNOR per bit, folded by a balanced AND
+// tree.
+func (m *BooleanMatcher) MatchAt(db, query []*bfv.Ciphertext, o int, stats *BooleanStats) (*bfv.Ciphertext, error) {
+	if o+len(query) > len(db) {
+		return nil, fmt.Errorf("core: window [%d, %d) outside database of %d bits", o, o+len(query), len(db))
+	}
+	layer := make([]*bfv.Ciphertext, len(query))
+	for j := range query {
+		layer[j] = m.xnor(db[o+j], query[j], stats)
+	}
+	for len(layer) > 1 {
+		next := make([]*bfv.Ciphertext, 0, (len(layer)+1)/2)
+		for i := 0; i+1 < len(layer); i += 2 {
+			prod, err := m.and(layer[i], layer[i+1], stats)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, prod)
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	return layer[0], nil
+}
+
+// Search traverses the whole encrypted database (the Boolean approach's
+// defining inefficiency), evaluating a match circuit at every aligned
+// offset, then decrypts the per-offset match bits.
+func (m *BooleanMatcher) Search(db, query []*bfv.Ciphertext, alignBits int) ([]int, BooleanStats, error) {
+	if alignBits < 1 {
+		alignBits = 1
+	}
+	var stats BooleanStats
+	var out []int
+	for o := 0; o+len(query) <= len(db); o += alignBits {
+		ct, err := m.MatchAt(db, query, o, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		pt := m.decryptor.Decrypt(ct)
+		if pt.Coeffs[0] == 1 {
+			out = append(out, o)
+		}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/mathutil"
+	"ciphermatch/internal/ring"
+	"ciphermatch/internal/rng"
+)
+
+// IndexMode selects how match indices are generated (§4.2.2 and DESIGN.md).
+type IndexMode int
+
+const (
+	// ModeClientDecrypt: the server returns result ciphertexts and the
+	// client decrypts them and scans for the match value t-1. This is the
+	// conventional (Yasuda-style) deployment and is always sound.
+	ModeClientDecrypt IndexMode = iota
+	// ModeSeededMatch: database encryption randomness is derived from the
+	// client's seed, so the client can compute, for every (variant, chunk),
+	// the exact first-component value a hit produces ("encrypted match
+	// polynomial"), and the server's index-generation unit compares
+	// coefficients. This is the paper's data flow; it reveals the hit
+	// pattern to the server, which the paper's design accepts (the server
+	// learns and returns the index).
+	ModeSeededMatch
+)
+
+// Config configures the CIPHERMATCH matcher.
+type Config struct {
+	// Params is the BFV parameter set; its packing width (log2 T) must be
+	// 16, the paper's segment size.
+	Params bfv.Params
+	// AlignBits restricts occurrence offsets to multiples of this value
+	// (1 = arbitrary bit alignment, 2 = DNA bases, 8 = bytes). The number
+	// of query shift variants is y / gcd(AlignBits, y). Default 8.
+	AlignBits int
+	// Mode selects the index-generation mode. Default ModeClientDecrypt.
+	Mode IndexMode
+}
+
+func (c Config) withDefaults() Config {
+	if c.AlignBits == 0 {
+		c.AlignBits = 8
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Params.PackedBitsPerCoeff() != SegmentBits {
+		return fmt.Errorf("core: matcher requires a %d-bit packing width (log2 T), got %d",
+			SegmentBits, c.Params.PackedBitsPerCoeff())
+	}
+	if c.AlignBits < 1 {
+		return errors.New("core: AlignBits must be positive")
+	}
+	return nil
+}
+
+// Client is the data owner: it holds the keys and the seed from which all
+// database encryption randomness is derived.
+type Client struct {
+	cfg       Config
+	enc       *bfv.Encoder
+	encryptor *bfv.Encryptor
+	decryptor *bfv.Decryptor
+	ev        *bfv.Evaluator
+	ring      *ring.Ring
+	src       *rng.Source
+}
+
+// NewClient creates a client with fresh keys drawn from src (which also
+// seeds all later database and query randomness).
+func NewClient(cfg Config, src *rng.Source) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sk, pk := bfv.KeyGen(cfg.Params, src.Fork("keygen"))
+	return &Client{
+		cfg:       cfg,
+		enc:       bfv.NewEncoder(cfg.Params),
+		encryptor: bfv.NewEncryptor(cfg.Params, pk),
+		decryptor: bfv.NewDecryptor(cfg.Params, sk),
+		ev:        bfv.NewEvaluator(cfg.Params),
+		ring:      cfg.Params.Ring(),
+		src:       src,
+	}, nil
+}
+
+// Config returns the client's configuration.
+func (c *Client) Config() Config { return c.cfg }
+
+// EncryptedDB is the server-side artifact: the packed, encrypted database
+// (Algorithm 1, lines 1-3).
+type EncryptedDB struct {
+	Chunks      []*bfv.Ciphertext
+	BitLen      int
+	NumSegments int
+}
+
+// SizeBytes returns the encrypted footprint, the quantity of Fig. 2(a).
+func (db *EncryptedDB) SizeBytes(p bfv.Params) int64 {
+	var total int64
+	for _, ct := range db.Chunks {
+		total += int64(ct.SizeBytes(p))
+	}
+	return total
+}
+
+// dbChunkSource derives the deterministic randomness for database chunk j.
+func (c *Client) dbChunkSource(j int) *rng.Source {
+	return c.src.Fork("db").ForkIndexed("chunk", j)
+}
+
+// patternSource derives the deterministic randomness for the query pattern
+// ciphertext with phase psi.
+func (c *Client) patternSource(psi int) *rng.Source {
+	return c.src.Fork("query").ForkIndexed("pattern", psi)
+}
+
+// EncryptDatabase packs data (bitLen bits, MSB-first) with the
+// memory-efficient scheme of §4.2.1 and encrypts each chunk. Chunk
+// randomness is derived from the client seed so that ModeSeededMatch can
+// reconstruct match tokens later without retaining the plaintext.
+func (c *Client) EncryptDatabase(data []byte, bitLen int) (*EncryptedDB, error) {
+	segs := PackSegments(data, bitLen)
+	pts, err := ChunkPlaintexts(segs, c.cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	db := &EncryptedDB{
+		Chunks:      make([]*bfv.Ciphertext, len(pts)),
+		BitLen:      bitLen,
+		NumSegments: len(segs),
+	}
+	for j, pt := range pts {
+		db.Chunks[j] = c.encryptor.Encrypt(pt, c.dbChunkSource(j))
+	}
+	return db, nil
+}
+
+// Query is the encrypted query artifact sent to the server (Algorithm 1,
+// lines 4-9): the negated, replicated query at every required shift
+// alignment, plus (in ModeSeededMatch) the match tokens.
+type Query struct {
+	YBits     int
+	AlignBits int
+	DBBitLen  int
+	NumChunks int
+	// Residues lists the occurrence residues (o mod y) this query detects,
+	// i.e. the shift variants of §4.2.2 line 8.
+	Residues []int
+	// Patterns maps phase psi -> encrypted negated replicated query
+	// pattern. The pattern for (variant s, chunk j) has phase
+	// psi = (16·n·j - s) mod y; variants share pattern ciphertexts with
+	// equal phase.
+	Patterns map[int]*bfv.Ciphertext
+	// Tokens[s][j] is the expected hit value of the first result component
+	// for variant residue s and chunk j (ModeSeededMatch only).
+	Tokens map[int][]ring.Poly
+}
+
+// SizeBytes returns the total bytes the client ships to the server for this
+// query (pattern ciphertexts plus match tokens).
+func (q *Query) SizeBytes(p bfv.Params) int64 {
+	var total int64
+	for _, ct := range q.Patterns {
+		total += int64(ct.SizeBytes(p))
+	}
+	for _, toks := range q.Tokens {
+		total += int64(len(toks)) * int64(p.N*p.QBytes())
+	}
+	return total
+}
+
+// PatternPhase returns psi for variant residue s and chunk j.
+func PatternPhase(n, j, s, y int) int {
+	phi := (SegmentBits * n * j) % y
+	return ((phi-s)%y + y) % y
+}
+
+// buildPatternSegments constructs the n packed coefficients of the negated
+// replicated query pattern at phase psi: coefficient i bit b (MSB-first) is
+// NOT query[(psi + 16i + b) mod y].
+func buildPatternSegments(query []byte, y, psi, n int) []uint16 {
+	segs := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		var v uint16
+		for b := 0; b < SegmentBits; b++ {
+			v <<= 1
+			bit := mathutil.GetBit(query, (psi+SegmentBits*i+b)%y)
+			v |= uint16(bit ^ 1) // negated query (~Q), §4.2.2
+		}
+		segs[i] = v
+	}
+	return segs
+}
+
+// gcd returns the greatest common divisor of a and b.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// PrepareQuery builds the encrypted query for a database of dbBitLen bits.
+// queryBits must be at least 1 and at most 8*len(query).
+func (c *Client) PrepareQuery(query []byte, queryBits, dbBitLen int) (*Query, error) {
+	if queryBits < 1 || queryBits > len(query)*8 {
+		return nil, fmt.Errorf("core: queryBits=%d out of range (query is %d bits)", queryBits, len(query)*8)
+	}
+	n := c.cfg.Params.N
+	y := queryBits
+	numSegs := (dbBitLen + SegmentBits - 1) / SegmentBits
+	numChunks := (numSegs + n - 1) / n
+	if numChunks == 0 {
+		numChunks = 1
+	}
+
+	q := &Query{
+		YBits:     y,
+		AlignBits: c.cfg.AlignBits,
+		DBBitLen:  dbBitLen,
+		NumChunks: numChunks,
+		Patterns:  make(map[int]*bfv.Ciphertext),
+	}
+	g := gcd(c.cfg.AlignBits, y)
+	for s := 0; s < y; s += g {
+		q.Residues = append(q.Residues, s)
+	}
+
+	// Encrypt every distinct pattern phase once.
+	for _, s := range q.Residues {
+		for j := 0; j < numChunks; j++ {
+			psi := PatternPhase(n, j, s, y)
+			if _, ok := q.Patterns[psi]; ok {
+				continue
+			}
+			segs := buildPatternSegments(query, y, psi, n)
+			pt, err := c.enc.EncodeUint16(segs)
+			if err != nil {
+				return nil, err
+			}
+			q.Patterns[psi] = c.encryptor.Encrypt(pt, c.patternSource(psi))
+		}
+	}
+
+	if c.cfg.Mode == ModeSeededMatch {
+		if err := c.buildTokens(q); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// buildTokens computes the "encrypted match polynomial" of §4.2.2 for every
+// (variant, chunk): the exact first-component value the homomorphic
+// addition produces when a coefficient sums to the all-ones value t-1.
+// The client re-derives the ciphertext randomness of both operands from its
+// seed (via bfv's documented sampling order) without needing the database
+// plaintext.
+func (c *Client) buildTokens(q *Query) error {
+	p := c.cfg.Params
+	n := p.N
+	allOnes := make([]uint64, n)
+	for i := range allOnes {
+		allOnes[i] = p.T - 1
+	}
+	onesPT, err := c.enc.Encode(allOnes)
+	if err != nil {
+		return err
+	}
+	zeroPT, err := c.enc.Encode(nil)
+	if err != nil {
+		return err
+	}
+
+	// Cache the pattern-noise component per phase: EncryptC0(0, patternSrc).
+	patternC0 := make(map[int]ring.Poly, len(q.Patterns))
+	for psi := range q.Patterns {
+		patternC0[psi] = c.encryptor.EncryptC0(zeroPT, c.patternSource(psi))
+	}
+
+	q.Tokens = make(map[int][]ring.Poly, len(q.Residues))
+	for _, s := range q.Residues {
+		toks := make([]ring.Poly, q.NumChunks)
+		for j := 0; j < q.NumChunks; j++ {
+			// Expected hit value: noise(db_j) + Δ(t-1) + noise(pattern).
+			dbC0 := c.encryptor.EncryptC0(onesPT, c.dbChunkSource(j))
+			psi := PatternPhase(n, j, s, q.YBits)
+			tok := c.ring.NewPoly()
+			c.ring.Add(dbC0, patternC0[psi], tok)
+			toks[j] = tok
+		}
+		q.Tokens[s] = toks
+	}
+	return nil
+}
+
+// HitBitmaps maps a variant residue to its global window-hit bitmap.
+type HitBitmaps map[int][]bool
+
+// ExtractHits decrypts the per-(variant, chunk) result ciphertexts of a
+// search and marks every window whose coefficient equals the match value
+// t-1 (ModeClientDecrypt).
+func (c *Client) ExtractHits(q *Query, sr *SearchResult) HitBitmaps {
+	p := c.cfg.Params
+	matchVal := p.T - 1
+	hits := make(HitBitmaps, len(q.Residues))
+	numWindows := q.NumChunks * p.N
+	for vi, s := range q.Residues {
+		bm := make([]bool, numWindows)
+		for j, ct := range sr.Results[vi] {
+			pt := c.decryptor.Decrypt(ct)
+			base := j * p.N
+			for i, v := range pt.Coeffs {
+				if v == matchVal {
+					bm[base+i] = true
+				}
+			}
+		}
+		hits[s] = bm
+	}
+	return hits
+}
+
+// Candidates converts hit bitmaps into candidate occurrence offsets: every
+// aligned offset whose full windows are all hits. See DESIGN.md on boundary
+// bits: candidates agree with the query on every full window; up to 15 bits
+// on each side are unverified.
+func Candidates(hits HitBitmaps, dbBits, yBits, alignBits int) []int {
+	var out []int
+	for o := 0; o+yBits <= dbBits; o += alignBits {
+		s := o % yBits
+		bm, ok := hits[s]
+		if !ok {
+			continue
+		}
+		w0, w1 := FullWindows(o, yBits)
+		if w1 == w0 {
+			continue // undetectable at this offset
+		}
+		all := true
+		for w := w0; w < w1; w++ {
+			if w >= len(bm) || !bm[w] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// VerifyCandidates filters candidates against the plaintext database; this
+// is the optional exact verification pass available to the data owner.
+func VerifyCandidates(db []byte, dbBits int, query []byte, queryBits int, candidates []int) []int {
+	var out []int
+	for _, o := range candidates {
+		if o+queryBits <= dbBits && plainMatchAt(db, query, queryBits, o) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Decryptor exposes the client's decryptor for diagnostics (noise budgets
+// in tests and examples).
+func (c *Client) Decryptor() *bfv.Decryptor { return c.decryptor }

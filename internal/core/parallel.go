@@ -1,0 +1,107 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"ciphermatch/internal/bfv"
+)
+
+// SearchAndIndexParallel is SearchAndIndex with the (variant, chunk) work
+// fanned out across CPU cores. Homomorphic additions are embarrassingly
+// parallel — the coefficient-wise independence the paper exploits with
+// SIMD on CPUs and with array-level parallelism in flash — so the search
+// scales with cores until memory bandwidth saturates.
+func (s *Server) SearchAndIndexParallel(q *Query, workers int) (*IndexResult, error) {
+	if err := s.checkQuery(q); err != nil {
+		return nil, err
+	}
+	if q.Tokens == nil {
+		return nil, errNoTokens
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := s.params.N
+	numChunks := len(s.db.Chunks)
+	numWindows := numChunks * n
+	for _, res := range q.Residues {
+		if toks, ok := q.Tokens[res]; !ok || len(toks) != numChunks {
+			return nil, errBadTokens(res)
+		}
+	}
+
+	type job struct {
+		variant int // index into q.Residues
+		chunk   int
+	}
+	jobs := make(chan job, workers)
+	bitmaps := make([][]bool, len(q.Residues))
+	for vi := range bitmaps {
+		bitmaps[vi] = make([]bool, numWindows)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		stats    Stats
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker gets its own evaluator scratch ciphertext.
+			ev := bfv.NewEvaluator(s.params)
+			var localAdds int
+			var localCompares int64
+			for jb := range jobs {
+				res := q.Residues[jb.variant]
+				psi := PatternPhase(n, jb.chunk, res, q.YBits)
+				pattern, ok := q.Patterns[psi]
+				if !ok {
+					setErr(errMissingPhase(psi))
+					continue
+				}
+				sum := ev.Add(s.db.Chunks[jb.chunk], pattern)
+				tok := q.Tokens[res][jb.chunk]
+				bm := bitmaps[jb.variant]
+				base := jb.chunk * n
+				for i, v := range sum.C[0] {
+					if v == tok[i] {
+						bm[base+i] = true // disjoint range per job: no race
+					}
+				}
+				localAdds++
+				localCompares += int64(n)
+			}
+			mu.Lock()
+			stats.HomAdds += localAdds
+			stats.CoeffCompares += localCompares
+			mu.Unlock()
+		}()
+	}
+	for vi := range q.Residues {
+		for j := 0; j < numChunks; j++ {
+			jobs <- job{variant: vi, chunk: j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues)), Stats: stats}
+	for vi, res := range q.Residues {
+		ir.Hits[res] = bitmaps[vi]
+	}
+	ir.Candidates = Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
+	return ir, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/rng"
+)
+
+func TestParallelSearchMatchesSerial(t *testing.T) {
+	cfg := Config{Params: bfv.ParamsToy(), AlignBits: 8, Mode: ModeSeededMatch}
+	client, err := NewClient(cfg, rng.NewSourceFromString("parallel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := make([]byte, 384) // 3 chunks at toy n=64
+	rng.NewSourceFromString("parallel-data").Bytes(db)
+	query := []byte{0xAB, 0xCD, 0xEF}
+	plantQuery(db, query, 24, 48)
+	plantQuery(db, query, 24, 2000)
+
+	edb, err := client.EncryptDatabase(db, 3072)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(cfg.Params, edb)
+	q, err := client.PrepareQuery(query, 24, 3072)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := server.SearchAndIndex(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} { // 0 = GOMAXPROCS
+		par, err := server.SearchAndIndexParallel(q, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !intsEqual(par.Candidates, serial.Candidates) {
+			t.Fatalf("workers=%d: %v != serial %v", workers, par.Candidates, serial.Candidates)
+		}
+		if par.Stats.HomAdds != serial.Stats.HomAdds {
+			t.Fatalf("workers=%d: HomAdds %d != %d", workers, par.Stats.HomAdds, serial.Stats.HomAdds)
+		}
+		for res, bm := range serial.Hits {
+			pbm := par.Hits[res]
+			for w := range bm {
+				if bm[w] != pbm[w] {
+					t.Fatalf("workers=%d residue=%d window=%d differs", workers, res, w)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSearchValidation(t *testing.T) {
+	cfg := Config{Params: bfv.ParamsToy(), Mode: ModeClientDecrypt}
+	client, _ := NewClient(cfg, rng.NewSourceFromString("pv"))
+	db := make([]byte, 128)
+	edb, _ := client.EncryptDatabase(db, 1024)
+	server := NewServer(cfg.Params, edb)
+	q, _ := client.PrepareQuery([]byte{0x11, 0x22}, 16, 1024)
+	if _, err := server.SearchAndIndexParallel(q, 2); err == nil {
+		t.Fatal("parallel search accepted tokenless query")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import "ciphermatch/internal/mathutil"
+
+// This file holds the plaintext-domain reference semantics the homomorphic
+// matcher is tested against.
+//
+// CIPHERMATCH detects an occurrence through the 16-bit aligned windows that
+// lie fully inside it (§4.2.2 and DESIGN.md "boundary bits"): an occurrence
+// of a y-bit query at bit offset o is *detectable* iff at least one aligned
+// window [16w, 16w+16) is contained in [o, o+y). Up to 15 bits on each side
+// of the occurrence fall outside every full window, so homomorphic matching
+// yields candidates that agree with the query on all full windows; the
+// boundary bits are unverified.
+
+// FindOccurrences returns every bit offset o (0 <= o <= dbBits-queryBits,
+// o a multiple of alignBits) at which the query occurs exactly in the
+// database. This is the naive ground truth.
+func FindOccurrences(db []byte, dbBits int, query []byte, queryBits, alignBits int) []int {
+	if alignBits <= 0 {
+		alignBits = 1
+	}
+	var out []int
+	for o := 0; o+queryBits <= dbBits; o += alignBits {
+		if plainMatchAt(db, query, queryBits, o) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func plainMatchAt(db, query []byte, queryBits, o int) bool {
+	for j := 0; j < queryBits; j++ {
+		if mathutil.GetBit(db, o+j) != mathutil.GetBit(query, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// FullWindows returns the range [w0, w1) of aligned 16-bit window indices
+// fully contained in the occurrence span [o, o+y).
+func FullWindows(o, y int) (w0, w1 int) {
+	w0 = (o + SegmentBits - 1) / SegmentBits
+	w1 = (o + y) / SegmentBits
+	if w1 < w0 {
+		w1 = w0
+	}
+	return w0, w1
+}
+
+// Detectable reports whether an occurrence at offset o of a y-bit query has
+// at least one full window, i.e. whether the add-only matcher can see it.
+// Queries of 31 bits or more are detectable at every offset.
+func Detectable(o, y int) bool {
+	w0, w1 := FullWindows(o, y)
+	return w1 > w0
+}
+
+// DetectableOccurrences filters FindOccurrences down to the offsets the
+// window-based matcher can detect.
+func DetectableOccurrences(db []byte, dbBits int, query []byte, queryBits, alignBits int) []int {
+	occ := FindOccurrences(db, dbBits, query, queryBits, alignBits)
+	var out []int
+	for _, o := range occ {
+		if Detectable(o, queryBits) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// ExpectedCandidates computes, in the plaintext domain, exactly the
+// candidate set the homomorphic matcher must produce: every aligned offset
+// o whose full windows all match the query's periodic pattern. True
+// occurrences are always included (if detectable); additional entries are
+// the false-positive candidates whose boundary bits differ.
+func ExpectedCandidates(db []byte, dbBits int, query []byte, queryBits, alignBits int) []int {
+	if alignBits <= 0 {
+		alignBits = 1
+	}
+	var out []int
+	for o := 0; o+queryBits <= dbBits; o += alignBits {
+		w0, w1 := FullWindows(o, queryBits)
+		if w1 == w0 {
+			continue // undetectable offset
+		}
+		ok := true
+		for w := w0; w < w1 && ok; w++ {
+			for b := 0; b < SegmentBits; b++ {
+				pos := w*SegmentBits + b
+				// Window is fully inside the occurrence, so the pattern
+				// bit is the query bit at (pos - o) mod y; pos-o in [0, y).
+				if mathutil.GetBit(db, pos) != mathutil.GetBit(query, pos-o) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}

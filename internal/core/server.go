@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/ring"
+)
+
+// Shared error constructors (used by the serial and parallel search
+// paths).
+var errNoTokens = errors.New("core: search requires match tokens (ModeSeededMatch)")
+
+func errMissingPhase(psi int) error {
+	return fmt.Errorf("core: query missing pattern phase %d", psi)
+}
+
+func errBadTokens(res int) error {
+	return fmt.Errorf("core: query tokens missing or mis-sized for residue %d", res)
+}
+
+// Stats accumulates the operation counts of a search; the performance model
+// (internal/perfmodel) consumes these to compose end-to-end latency.
+type Stats struct {
+	// HomAdds is the number of homomorphic additions executed (the only
+	// homomorphic operation CIPHERMATCH uses, §4.2.2).
+	HomAdds int
+	// CoeffCompares is the number of coefficient comparisons performed by
+	// index generation.
+	CoeffCompares int64
+	// ResultBytes is the volume of result ciphertexts produced.
+	ResultBytes int64
+}
+
+// Server holds the encrypted database and executes secure string search
+// (Algorithm 1, lines 10-12). It never sees the secret key.
+type Server struct {
+	params bfv.Params
+	ev     *bfv.Evaluator
+	ring   *ring.Ring
+	db     *EncryptedDB
+}
+
+// NewServer creates a server over an encrypted database.
+func NewServer(params bfv.Params, db *EncryptedDB) *Server {
+	return &Server{params: params, ev: bfv.NewEvaluator(params), ring: params.Ring(), db: db}
+}
+
+// DB returns the stored encrypted database.
+func (s *Server) DB() *EncryptedDB { return s.db }
+
+// SearchResult holds one result ciphertext per (variant, chunk), in the
+// order of Query.Residues (ModeClientDecrypt).
+type SearchResult struct {
+	Results [][]*bfv.Ciphertext
+	Stats   Stats
+}
+
+// Search performs the homomorphic additions of Algorithm 1 line 10 and
+// returns the result ciphertexts for client-side index generation.
+func (s *Server) Search(q *Query) (*SearchResult, error) {
+	if err := s.checkQuery(q); err != nil {
+		return nil, err
+	}
+	n := s.params.N
+	sr := &SearchResult{Results: make([][]*bfv.Ciphertext, len(q.Residues))}
+	for vi, res := range q.Residues {
+		row := make([]*bfv.Ciphertext, len(s.db.Chunks))
+		for j, chunk := range s.db.Chunks {
+			psi := PatternPhase(n, j, res, q.YBits)
+			pattern, ok := q.Patterns[psi]
+			if !ok {
+				return nil, fmt.Errorf("core: query missing pattern phase %d", psi)
+			}
+			sum := s.ev.Add(chunk, pattern)
+			row[j] = sum
+			sr.Stats.HomAdds++
+			sr.Stats.ResultBytes += int64(sum.SizeBytes(s.params))
+		}
+		sr.Results[vi] = row
+	}
+	return sr, nil
+}
+
+// IndexResult is the output of server-side index generation
+// (ModeSeededMatch): per-variant window-hit bitmaps and the final candidate
+// offsets.
+type IndexResult struct {
+	Hits       HitBitmaps
+	Candidates []int
+	Stats      Stats
+}
+
+// SearchAndIndex performs the homomorphic additions and then generates the
+// match index on the server by comparing each result's first component
+// against the query's match tokens ("encrypted match polynomial", §4.2.2).
+// Only the hit pattern leaves the server, not the result ciphertexts.
+func (s *Server) SearchAndIndex(q *Query) (*IndexResult, error) {
+	if err := s.checkQuery(q); err != nil {
+		return nil, err
+	}
+	if q.Tokens == nil {
+		return nil, fmt.Errorf("core: SearchAndIndex requires match tokens (ModeSeededMatch)")
+	}
+	n := s.params.N
+	ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues))}
+	numWindows := len(s.db.Chunks) * n
+	for _, res := range q.Residues {
+		toks, ok := q.Tokens[res]
+		if !ok || len(toks) != len(s.db.Chunks) {
+			return nil, fmt.Errorf("core: query tokens missing or mis-sized for residue %d", res)
+		}
+		bm := make([]bool, numWindows)
+		for j, chunk := range s.db.Chunks {
+			psi := PatternPhase(n, j, res, q.YBits)
+			pattern, ok := q.Patterns[psi]
+			if !ok {
+				return nil, fmt.Errorf("core: query missing pattern phase %d", psi)
+			}
+			sum := s.ev.Add(chunk, pattern)
+			ir.Stats.HomAdds++
+			// Index generation: compare the first component against the
+			// expected hit value coefficient-by-coefficient.
+			tok := toks[j]
+			base := j * n
+			for i, v := range sum.C[0] {
+				if v == tok[i] {
+					bm[base+i] = true
+				}
+			}
+			ir.Stats.CoeffCompares += int64(n)
+		}
+		ir.Hits[res] = bm
+	}
+	ir.Candidates = Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
+	return ir, nil
+}
+
+func (s *Server) checkQuery(q *Query) error {
+	if q.YBits < 1 {
+		return fmt.Errorf("core: query has invalid length %d", q.YBits)
+	}
+	if q.NumChunks != len(s.db.Chunks) {
+		return fmt.Errorf("core: query prepared for %d chunks, database has %d",
+			q.NumChunks, len(s.db.Chunks))
+	}
+	if q.DBBitLen != s.db.BitLen {
+		return fmt.Errorf("core: query prepared for %d-bit database, have %d bits",
+			q.DBBitLen, s.db.BitLen)
+	}
+	return nil
+}

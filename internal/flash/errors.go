@@ -1,0 +1,46 @@
+package flash
+
+import "ciphermatch/internal/rng"
+
+// This file models the reliability mechanism of §4.3.1: in-flash
+// computation consumes raw sensed values, so ordinary read-error rates
+// corrupt results (ECC sits behind the controller and cannot help inside
+// the latch circuitry). Flash-Cosmos's Enhanced SLC Programming (ESP)
+// maximises the threshold-voltage margin between the two states, making
+// raw reads reliable enough to compute on — which is why the CIPHERMATCH
+// region must run in ModeSLCESP.
+//
+// The simulator exposes the effect through an injectable raw-bit-error
+// model: reads of ESP-programmed blocks sense cleanly, reads of plain
+// blocks flip bits at the configured raw bit error rate.
+
+// ErrorModel configures raw read-error injection for a plane.
+type ErrorModel struct {
+	// RawBitErrorRate is the per-bit flip probability of a raw
+	// (non-ECC-corrected) SLC read without ESP programming.
+	RawBitErrorRate float64
+	// Src drives the injected flips; nil disables injection entirely.
+	Src *rng.Source
+}
+
+// SetErrorModel installs an error model on the plane. The zero model (or a
+// nil source) disables injection, which is the default.
+func (p *Plane) SetErrorModel(m ErrorModel) { p.errModel = m }
+
+// injectReadErrors flips bits of the freshly sensed S-latch according to
+// the error model. ESP-programmed blocks (ModeSLCESP) are exempt: the
+// enlarged voltage margin suppresses raw read errors (§4.3.1 Reliability).
+func (p *Plane) injectReadErrors(mode BlockMode) {
+	m := p.errModel
+	if m.Src == nil || m.RawBitErrorRate <= 0 || mode == ModeSLCESP {
+		return
+	}
+	// Sample the number of flipped bits per word from the per-bit rate.
+	for w := range p.S {
+		for bit := 0; bit < 64; bit++ {
+			if m.Src.Float64() < m.RawBitErrorRate {
+				p.S[w] ^= 1 << uint(bit)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/perfmodel"
+	"ciphermatch/internal/rng"
+)
+
+func init() {
+	register(Experiment{ID: "fig2", Title: "Boolean vs arithmetic: footprint, execution time, latency breakdown", Run: runFig2})
+	register(Experiment{ID: "fig3", Title: "Normalized transfer latency to CPU / DRAM / SSD controller", Run: runFig3})
+	register(Experiment{ID: "fig7", Title: "CM-SW speedup vs query size (128GB encrypted DB, 1 query)", Run: runFig7})
+	register(Experiment{ID: "fig8", Title: "CM-SW energy vs query size", Run: runFig8})
+	register(Experiment{ID: "fig9", Title: "CM-SW speedup vs encrypted DB size (16-bit query, 1000 queries)", Run: runFig9})
+	register(Experiment{ID: "fig10", Title: "Hardware speedup over CM-SW vs query size", Run: runFig10})
+	register(Experiment{ID: "fig11", Title: "Hardware energy vs query size", Run: runFig11})
+	register(Experiment{ID: "fig12", Title: "Hardware speedup over CM-SW vs encrypted DB size", Run: runFig12})
+}
+
+// paper-reported series, used for side-by-side comparison columns.
+var (
+	paperFig7ArithSpeedup = map[int]string{16: "20.7x", 32: "30.7x", 64: "44.1x", 128: "54.7x", 256: "62.2x"}
+	paperFig10IFP         = map[int]string{16: "216.0x", 32: "168.9x", 64: "122.7x", 128: "100.2x", 256: "76.6x"}
+	paperFig11IFP         = map[int]string{16: "454.5x", 32: "370.3x", 64: "294.1x", 128: "227.2x", 256: "156.2x"}
+	paperFig9Speedup      = map[int64]string{8: "62.2x", 16: "62.2x", 32: "72.1x", 64: "72.1x", 128: "68.1x"}
+	paperFig12IFP         = map[int64]string{8: "250.1x", 16: "250.1x", 32: "250.1x", 64: "295.1x", 128: "295.1x"}
+)
+
+// runFig2 regenerates the three panels of Fig. 2. Panel (b) is measured
+// functionally on this machine with this repository's matchers at micro
+// scale (the paper likewise uses a tiny database "to understand the
+// execution time ... without causing data movement").
+func runFig2(m *perfmodel.Model) (*Table, error) {
+	t := &Table{
+		ID:      "fig2",
+		Title:   "Boolean [17] vs arithmetic [27] (panels a, b, c)",
+		Headers: []string{"Panel", "Point", "Boolean", "Arithmetic", "Note"},
+	}
+
+	// Panel (a): encrypted footprint vs database size.
+	for _, plainBytes := range []int64{32, 256, 1024, 4096} {
+		w := perfmodel.Workload{PlainBits: plainBytes * 8, QueryBits: 16}
+		t.Rows = append(t.Rows, []string{
+			"a", fmt.Sprintf("DB %s", bytesHuman(plainBytes)),
+			bytesHuman(m.BooleanEncryptedBytes(w)),
+			bytesHuman(m.ArithEncryptedBytes(w)),
+			fmt.Sprintf("CIPHERMATCH: %s", bytesHuman(m.CMEncryptedBytes(w))),
+		})
+	}
+
+	// Panel (b): measured execution time of the functional matchers on a
+	// 16-byte database.
+	for _, y := range []int{16, 24} {
+		boolSec, arithSec, err := measureFig2b(y)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"b", fmt.Sprintf("query %db (measured, 16B DB)", y),
+			fmt.Sprintf("%.3fs", boolSec),
+			fmt.Sprintf("%.3fs", arithSec),
+			fmt.Sprintf("boolean/arith = %.0fx", boolSec/arithSec),
+		})
+	}
+
+	// Panel (c): latency breakdown of the arithmetic approach.
+	frac := m.ArithMulFraction(perfmodel.Workload{PlainBits: 1 << 20, QueryBits: 16})
+	t.Rows = append(t.Rows, []string{
+		"c", "Hom-Mul share of latency", "-", fmt.Sprintf("%.1f%%", 100*frac), "paper: 98.2%",
+	})
+	meas, err := perfmodel.MeasureOps(bfv.ParamsToyMul(), 3)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"c", "measured Mul/Add ratio (this repo, toy params)", "-",
+		fmt.Sprintf("%.0fx", float64(meas.TMul)/float64(meas.TAdd)),
+		"schoolbook Mul inflates the ratio vs SEAL's NTT (DESIGN.md)",
+	})
+	t.Notes = append(t.Notes,
+		"panel (b) absolute times are this repository's Go matchers, not TFHE-rs/SEAL; the ordering and gap are the reproduced quantities")
+	return t, nil
+}
+
+// measureFig2b times the functional Boolean and Yasuda matchers searching a
+// y-bit query in a 16-byte database (byte alignment).
+func measureFig2b(y int) (boolSec, arithSec float64, err error) {
+	src := rng.NewSourceFromString(fmt.Sprintf("fig2b-%d", y))
+	db := make([]byte, 16)
+	src.Bytes(db)
+	query := make([]byte, y/8)
+	src.Bytes(query)
+
+	bm, err := core.NewBooleanMatcher(bfv.ParamsBoolean(), src.Fork("bool"))
+	if err != nil {
+		return 0, 0, err
+	}
+	dbCT, err := bm.EncryptBits(db, len(db)*8, src.Fork("bool-db"))
+	if err != nil {
+		return 0, 0, err
+	}
+	qCT, err := bm.EncryptBits(query, y, src.Fork("bool-q"))
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	if _, _, err := bm.Search(dbCT, qCT, 8); err != nil {
+		return 0, 0, err
+	}
+	boolSec = time.Since(start).Seconds()
+
+	// The NTT-enabled parameter set keeps the arithmetic baseline in the
+	// same algorithmic regime as SEAL (the paper's substrate).
+	ym, err := core.NewYasudaMatcher(bfv.ParamsNTTArith(), 256, src.Fork("yasuda"))
+	if err != nil {
+		return 0, 0, err
+	}
+	ydb, err := ym.EncryptDatabase(db, len(db)*8, src.Fork("yasuda-db"))
+	if err != nil {
+		return 0, 0, err
+	}
+	yq, err := ym.PrepareQuery(query, y, src.Fork("yasuda-q"))
+	if err != nil {
+		return 0, 0, err
+	}
+	start = time.Now()
+	if _, _, err := ym.Search(ydb, yq); err != nil {
+		return 0, 0, err
+	}
+	arithSec = time.Since(start).Seconds()
+	return boolSec, arithSec, nil
+}
+
+func runFig3(m *perfmodel.Model) (*Table, error) {
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Transfer latency normalized to CPU (=100)",
+		Headers: []string{"Encrypted DB", "CPU", "Main memory", "Storage", "Paper notes"},
+	}
+	notes := map[int64]string{
+		8:   "paper: DRAM ~75, storage <20",
+		256: "paper: DRAM 94, storage 6",
+	}
+	for _, gb := range []int64{8, 16, 32, 64, 128, 256} {
+		norm := m.TransferNormalized(gb << 30)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dGB", gb),
+			f1(norm[perfmodel.TargetCPU]),
+			f1(norm[perfmodel.TargetDRAM]),
+			f1(norm[perfmodel.TargetController]),
+			notes[gb],
+		})
+	}
+	t.Notes = append(t.Notes,
+		"orderings and trends (storage < DRAM < CPU; DRAM benefit shrinking with size) are the reproduced quantities; see EXPERIMENTS.md for the path model")
+	return t, nil
+}
+
+func runFig7(m *perfmodel.Model) (*Table, error) {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "CM-SW speedup (128GB encrypted DB, 1 query)",
+		Headers: []string{"Query bits", "over Arithmetic", "16-shift semantics", "paper", "over Boolean", "paper range"},
+	}
+	paperSem := *m
+	paperSem.Cal.PaperShiftSemantics = true
+	for _, y := range []int{16, 32, 64, 128, 256} {
+		w := perfmodel.DNAWorkload(y)
+		cm := m.EstimateCMSW(w)
+		cm16 := paperSem.EstimateCMSW(w)
+		ar := m.EstimateArith(w)
+		bo := m.EstimateBoolean(w)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", y),
+			speedup(ar, cm), speedup(ar, cm16), paperFig7ArithSpeedup[y],
+			fmt.Sprintf("%.1ex", bo.Seconds/cm.Seconds), "2.0e5-6.2e5x",
+		})
+	}
+	t.Notes = append(t.Notes,
+		"'over Arithmetic' uses the corrected V(y)=y shift count; '16-shift semantics' caps shifts at 16 as the paper's query preparation does (EXPERIMENTS.md, shift-count discrepancy)")
+	return t, nil
+}
+
+func runFig8(m *perfmodel.Model) (*Table, error) {
+	t := &Table{
+		ID:      "fig8",
+		Title:   "CM-SW energy reduction (128GB encrypted DB, 1 query)",
+		Headers: []string{"Query bits", "vs Arithmetic", "paper", "vs Boolean"},
+	}
+	paper := map[int]string{16: "17.6x", 32: "28.0x", 64: "40.1x", 128: "51.3x", 256: "60.1x"}
+	for _, y := range []int{16, 32, 64, 128, 256} {
+		w := perfmodel.DNAWorkload(y)
+		cm := m.EstimateCMSW(w)
+		ar := m.EstimateArith(w)
+		bo := m.EstimateBoolean(w)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", y),
+			energyRatio(ar, cm), paper[y],
+			fmt.Sprintf("%.1ex", bo.EnergyJ/cm.EnergyJ),
+		})
+	}
+	return t, nil
+}
+
+func runFig9(m *perfmodel.Model) (*Table, error) {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "CM-SW speedup vs encrypted DB size (16-bit query, 1000 queries)",
+		Headers: []string{"Encrypted DB", "over Arithmetic", "paper", "CM-SW seconds"},
+	}
+	for _, gb := range []int64{8, 16, 32, 64, 128} {
+		// Encrypted size = 4x plaintext under CIPHERMATCH packing.
+		w := perfmodel.DBSearchWorkload((gb << 30) / 4)
+		cm := m.EstimateCMSW(w)
+		ar := m.EstimateArith(w)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dGB", gb),
+			speedup(ar, cm), paperFig9Speedup[gb],
+			f1(cm.Seconds),
+		})
+	}
+	t.Notes = append(t.Notes, "paper observation: CM-SW performance drops ~1.16x once the DB exceeds the 32GB DRAM")
+	return t, nil
+}
+
+func hardwareRow(m *perfmodel.Model, w perfmodel.Workload) (sw, pum, pumSSD, ifp perfmodel.Estimate) {
+	return m.EstimateCMSW(w), m.EstimateCMPuM(w), m.EstimateCMPuMSSD(w), m.EstimateCMIFP(w)
+}
+
+func runFig10(m *perfmodel.Model) (*Table, error) {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Hardware speedup over CM-SW (128GB encrypted DB, 1 query)",
+		Headers: []string{"Query bits", "CM-PuM", "CM-PuM-SSD", "CM-IFP", "paper CM-IFP"},
+	}
+	for _, y := range []int{16, 32, 64, 128, 256} {
+		sw, pum, pumSSD, ifp := hardwareRow(m, perfmodel.DNAWorkload(y))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", y),
+			speedup(sw, pum), speedup(sw, pumSSD), speedup(sw, ifp), paperFig10IFP[y],
+		})
+	}
+	t.Notes = append(t.Notes,
+		"reproduced shape: CM-IFP best at small queries; CM-PuM overtakes CM-IFP at 256 bits (paper: 1.21x)")
+	return t, nil
+}
+
+func runFig11(m *perfmodel.Model) (*Table, error) {
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Hardware energy reduction vs CM-SW (128GB encrypted DB, 1 query)",
+		Headers: []string{"Query bits", "CM-PuM", "CM-PuM-SSD", "CM-IFP", "paper CM-IFP"},
+	}
+	for _, y := range []int{16, 32, 64, 128, 256} {
+		sw, pum, pumSSD, ifp := hardwareRow(m, perfmodel.DNAWorkload(y))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", y),
+			energyRatio(sw, pum), energyRatio(sw, pumSSD), energyRatio(sw, ifp), paperFig11IFP[y],
+		})
+	}
+	return t, nil
+}
+
+func runFig12(m *perfmodel.Model) (*Table, error) {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "Hardware speedup over CM-SW vs encrypted DB size (16-bit query, 1000 queries)",
+		Headers: []string{"Encrypted DB", "CM-PuM", "CM-PuM-SSD", "CM-IFP", "paper CM-IFP"},
+	}
+	for _, gb := range []int64{8, 16, 32, 64, 128} {
+		w := perfmodel.DBSearchWorkload((gb << 30) / 4)
+		sw, pum, pumSSD, ifp := hardwareRow(m, w)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dGB", gb),
+			speedup(sw, pum), speedup(sw, pumSSD), speedup(sw, ifp), paperFig12IFP[gb],
+		})
+	}
+	t.Notes = append(t.Notes,
+		"reproduced crossover: CM-PuM leads while the DB fits the 32GB DRAM, CM-IFP leads beyond it",
+		"divergence: the paper reports CM-PuM-SSD 1.75x ahead of CM-PuM beyond 32GB; our model narrows the gap to ~1.1x the other way (EXPERIMENTS.md)")
+	return t, nil
+}

@@ -1,0 +1,40 @@
+package mathutil
+
+// Bit-stream helpers used by the data-packing schemes (internal/core).
+// CIPHERMATCH treats the database and query as flat binary strings (§4.2.1);
+// throughout this repository bit k of a stream stored in a byte slice is bit
+// (7 - k%8) of byte k/8, i.e. MSB-first within each byte, matching the
+// paper's textual convention of writing strings left to right.
+
+// GetBit returns bit k (MSB-first) of the byte-slice stream.
+func GetBit(stream []byte, k int) uint32 {
+	return uint32(stream[k/8]>>(7-uint(k%8))) & 1
+}
+
+// SetBit sets bit k (MSB-first) of the stream to v (0 or 1).
+func SetBit(stream []byte, k int, v uint32) {
+	mask := byte(1) << (7 - uint(k%8))
+	if v&1 == 1 {
+		stream[k/8] |= mask
+	} else {
+		stream[k/8] &^= mask
+	}
+}
+
+// Segment16 extracts the 16-bit segment starting at bit offset off
+// (MSB-first: the bit at off becomes the segment's most significant bit).
+// Bits beyond the end of the stream read as zero.
+func Segment16(stream []byte, off int) uint16 {
+	var v uint16
+	total := len(stream) * 8
+	for i := 0; i < 16; i++ {
+		v <<= 1
+		if off+i < total {
+			v |= uint16(GetBit(stream, off+i))
+		}
+	}
+	return v
+}
+
+// BitLen returns the stream length in bits.
+func BitLen(stream []byte) int { return len(stream) * 8 }

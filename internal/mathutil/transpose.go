@@ -1,0 +1,110 @@
+package mathutil
+
+import "math/bits"
+
+// This file implements the horizontal<->vertical data-layout conversion of
+// CIPHERMATCH (§4.3.2): the SSD controller's data transposition unit turns a
+// stream of 32-bit ciphertext coefficients (horizontal layout, one
+// coefficient contiguous in a page) into 32 bit-planes (vertical layout, bit
+// i of every coefficient gathered into one wordline page), so that each
+// NAND bitline holds one full coefficient and the in-flash bit-serial adder
+// can propagate carries per bitline.
+//
+// The transposition is an exact 32xN boolean matrix transpose, implemented
+// with the classic recursive block-swap (Hacker's Delight §7-3) on 32x32
+// tiles.
+
+// WordsPerPlane returns the number of uint64 words needed to hold one bit
+// from each of n coefficients.
+func WordsPerPlane(n int) int { return (n + 63) / 64 }
+
+// TransposeToBitPlanes scatters the bits of coeffs into 32 bit-planes.
+// planes must have exactly 32 rows of at least WordsPerPlane(len(coeffs))
+// words each; row i receives bit i (LSB = bit 0) of every coefficient, with
+// coefficient j stored at bit position j of the row (word j/64, bit j%64).
+//
+// Plane bits at positions >= len(coeffs) (up to the word boundary) are
+// cleared.
+func TransposeToBitPlanes(coeffs []uint32, planes [][]uint64) {
+	if len(planes) != 32 {
+		panic("mathutil: TransposeToBitPlanes requires 32 planes")
+	}
+	words := WordsPerPlane(len(coeffs))
+	for i := range planes {
+		if len(planes[i]) < words {
+			panic("mathutil: plane too short")
+		}
+		clear(planes[i][:words])
+	}
+	var tile [32]uint32
+	for base := 0; base < len(coeffs); base += 32 {
+		m := min(32, len(coeffs)-base)
+		for k := 0; k < m; k++ {
+			tile[k] = coeffs[base+k]
+		}
+		for k := m; k < 32; k++ {
+			tile[k] = 0
+		}
+		transpose32(&tile)
+		// tile[i] bit k now holds bit i of coefficient base+k.
+		word, shift := base/64, uint(base%64)
+		for i := 0; i < 32; i++ {
+			planes[i][word] |= uint64(tile[i]) << shift
+		}
+	}
+}
+
+// TransposeFromBitPlanes is the inverse of TransposeToBitPlanes: it gathers
+// bit i of coefficient j from planes[i] bit j and reassembles coeffs.
+func TransposeFromBitPlanes(planes [][]uint64, coeffs []uint32) {
+	if len(planes) != 32 {
+		panic("mathutil: TransposeFromBitPlanes requires 32 planes")
+	}
+	words := WordsPerPlane(len(coeffs))
+	for i := range planes {
+		if len(planes[i]) < words {
+			panic("mathutil: plane too short")
+		}
+	}
+	var tile [32]uint32
+	for base := 0; base < len(coeffs); base += 32 {
+		word, shift := base/64, uint(base%64)
+		for i := 0; i < 32; i++ {
+			tile[i] = uint32(planes[i][word] >> shift)
+		}
+		transpose32(&tile)
+		m := min(32, len(coeffs)-base)
+		for k := 0; k < m; k++ {
+			coeffs[base+k] = tile[k]
+		}
+	}
+}
+
+// transpose32 transposes a 32x32 bit matrix in place using the convention
+// that row r's bit c (LSB = bit 0) is matrix element (r, c): afterwards,
+// bit k of a[i] equals bit i of the original a[k].
+func transpose32(a *[32]uint32) {
+	// Block-swap transpose (Hacker's Delight §7-3). The classic routine
+	// transposes under the MSB-first convention, which corresponds to the
+	// LSB-first transpose composed with a reversal of both row order and
+	// bit order; reverseOrientation applies that fix-up.
+	var m uint32 = 0x0000FFFF
+	for j := uint(16); j != 0; {
+		for k := uint(0); k < 32; k = (k + j + 1) &^ j {
+			t := (a[k] ^ (a[k+j] >> j)) & m
+			a[k] ^= t
+			a[k+j] ^= t << j
+		}
+		j >>= 1
+		m ^= m << j // note: uses the halved j, as in the C original
+	}
+	reverseOrientation(a)
+}
+
+// reverseOrientation reverses both the row order and the bit order within
+// each row of a 32x32 bit matrix.
+func reverseOrientation(a *[32]uint32) {
+	for i, j := 0, 31; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = bits.Reverse32(a[j]), bits.Reverse32(a[i])
+	}
+}

@@ -1,0 +1,118 @@
+package perfmodel
+
+import (
+	"ciphermatch/internal/flash"
+	"ciphermatch/internal/pum"
+)
+
+// This file models the three hardware systems of §5.2. Shared quantities:
+//
+//   - laneAdds: the total number of 32-bit coefficient additions a search
+//     needs = queries × shifts × chunks × 2n (both ciphertext components);
+//   - the per-pass throughput of each substrate: how many lanes one
+//     bit-serial 32-bit addition covers at once.
+
+// laneAdds returns the total 32-bit lane additions of the workload.
+func (m *Model) laneAdds(w Workload) float64 {
+	w = w.withDefaults()
+	coeffsPerChunk := float64(2 * m.Params.N)
+	return float64(w.NumQueries) * float64(m.ModelShifts(w)) * float64(m.CMChunks(w)) * coeffsPerChunk
+}
+
+// EstimateCMIFP models in-flash CIPHERMATCH: every plane adds one page
+// width (32768 bitlines) of coefficients per 32 × Tbit_add; all planes of
+// all dies and channels run in parallel (§4.3.1 "Implementing Homomorphic
+// Addition"); data never leaves the flash chips, so there is no external
+// data movement. Index generation (3.42 µs/page) and software
+// transposition (13.6 µs/page) are overlapped with the 22.5 µs-per-bit
+// flash reads, as in §4.3.2.
+//
+// Energy follows Table 3's per-channel accounting: every concurrent
+// channel-step of bit-serial addition costs Ebit_add (Eq. 11).
+func (m *Model) EstimateCMIFP(w Workload) Estimate {
+	w = w.withDefaults()
+	g := m.SSD.Geometry
+	lanesPerPass := float64(g.TotalPlanes()) * float64(g.PageBits())
+	passes := m.laneAdds(w) / lanesPerPass
+	compute := passes * float64(flash.OperandBits) * m.TBitAdd().Seconds()
+
+	// Channel-steps: each sequential pass keeps all channels busy.
+	perChannelBit := m.SSD.Energy.BitAdd(g.PageBytes)
+	energy := passes * float64(flash.OperandBits) * float64(g.Channels) * perChannelBit
+
+	return Estimate{
+		System:         "CM-IFP",
+		Seconds:        compute,
+		EnergyJ:        energy,
+		ComputeSeconds: compute,
+	}
+}
+
+// pumParallelRows returns how many row-wide bulk operations the device can
+// keep in flight: channels × the per-channel command-bus limit.
+func (m *Model) pumParallelRows(cfg pum.Config) float64 {
+	return float64(cfg.Channels * m.Cal.PuMBankOpsPerChannel)
+}
+
+// pumComputeSeconds returns the bit-serial addition time on the given
+// DRAM: laneAdds spread over RowBits-wide rows, with the device's
+// parallel-row limit, at Add32Latency per row.
+func (m *Model) pumComputeSeconds(w Workload, cfg pum.Config) float64 {
+	rowAdds := m.laneAdds(w) / float64(cfg.RowBits())
+	return rowAdds / m.pumParallelRows(cfg) * cfg.Add32Latency().Seconds()
+}
+
+// pumBbopEnergy returns the bulk-operation energy of the additions.
+func (m *Model) pumBbopEnergy(w Workload, cfg pum.Config) float64 {
+	rowAdds := m.laneAdds(w) / float64(cfg.RowBits())
+	return rowAdds * cfg.Add32Energy()
+}
+
+// EstimateCMPuM models processing-using-memory in external DDR4: the
+// database streams from the SSD (once if it fits the 32 GB DRAM, per query
+// otherwise; shifts reuse the resident batch), then row-wide bit-serial
+// additions run in DRAM.
+func (m *Model) EstimateCMPuM(w Workload) Estimate {
+	w = w.withDefaults()
+	enc := m.CMEncryptedBytes(w)
+	dmBytes := m.dmBytesSW(enc, w.NumQueries)
+	dm := dmBytes / m.Cal.SSDStreamBW
+	compute := m.pumComputeSeconds(w, m.DDR4)
+	energy := m.pumBbopEnergy(w, m.DDR4) +
+		m.Cal.DRAMPower*compute +
+		(m.Cal.SSDPower+m.Cal.DRAMPower)*dm +
+		m.flashStreamEnergy(dmBytes)
+	return Estimate{
+		System:          "CM-PuM",
+		Seconds:         dm + compute,
+		EnergyJ:         energy,
+		DataMoveSeconds: dm,
+		ComputeSeconds:  compute,
+	}
+}
+
+// EstimateCMPuMSSD models processing-using-memory in the SSD-internal
+// LPDDR4: the 2 GB internal DRAM cannot hold the database, so every query
+// re-streams it over the internal NAND channels (9.6 GB/s aggregate) —
+// never over external I/O — and the additions run in the internal DRAM's
+// single channel at LPDDR4 timings.
+func (m *Model) EstimateCMPuMSSD(w Workload) Estimate {
+	w = w.withDefaults()
+	enc := m.CMEncryptedBytes(w)
+	dmBytes := float64(enc)
+	if enc > m.LPDDR4.CapacityBytes {
+		dmBytes *= float64(w.NumQueries)
+	}
+	dm := dmBytes / m.internalSSDBandwidth()
+	compute := m.pumComputeSeconds(w, m.LPDDR4)
+	energy := m.pumBbopEnergy(w, m.LPDDR4) +
+		m.Cal.DRAMPower*compute +
+		m.flashStreamEnergy(dmBytes)
+	return Estimate{
+		System:          "CM-PuM-SSD",
+		Seconds:         dm + compute,
+		EnergyJ:         energy,
+		DataMoveSeconds: dm,
+		ComputeSeconds:  compute,
+	}
+}

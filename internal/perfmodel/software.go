@@ -1,0 +1,119 @@
+package perfmodel
+
+// Estimate is the modelled cost of one complete workload execution on one
+// system. All times are float64 seconds (Boolean estimates overflow
+// time.Duration).
+type Estimate struct {
+	System string
+	// Seconds is the end-to-end latency: DataMove + Compute + Post
+	// (sequential composition; overlap assumptions are noted per system).
+	Seconds float64
+	// EnergyJ is the end-to-end energy in joules.
+	EnergyJ float64
+
+	DataMoveSeconds float64
+	ComputeSeconds  float64
+	PostSeconds     float64
+}
+
+// dmBytesSW returns the bytes streamed from storage for a software system
+// whose encrypted database occupies encBytes: loaded once if it fits host
+// DRAM (then amortised across queries), otherwise re-streamed per query.
+func (m *Model) dmBytesSW(encBytes int64, numQueries int) float64 {
+	hostCap := int64(m.Real.DRAMGB) << 30
+	if encBytes <= hostCap {
+		return float64(encBytes)
+	}
+	return float64(encBytes) * float64(numQueries)
+}
+
+// flashStreamEnergy returns the NAND-side energy of streaming the given
+// volume out of the flash arrays: a page read plus a channel DMA per page
+// (Table 3 energies).
+func (m *Model) flashStreamEnergy(bytes float64) float64 {
+	pages := bytes / float64(m.SSD.Geometry.PageBytes)
+	return pages * (m.SSD.Energy.ReadSLCPerChannel + m.SSD.Energy.DMAPerChannel)
+}
+
+// hostEnergy composes the energy of a host-side execution: CPU package
+// power over compute time, DRAM power over all active time, SSD streaming
+// energy (NAND reads + interface power over the transfer).
+func (m *Model) hostEnergy(dmBytes, dmSec, computeSec, postSec float64) float64 {
+	busy := computeSec + postSec
+	return m.Cal.CPUPower*busy +
+		m.Cal.DRAMPower*(busy+dmSec) +
+		m.Cal.SSDPower*dmSec +
+		m.flashStreamEnergy(dmBytes)
+}
+
+// EstimateCMSW models the pure-software CIPHERMATCH implementation:
+// V(y) shifts × chunks homomorphic additions per query, plus the per-chunk
+// result post-processing (match-polynomial comparison), plus streaming the
+// 4×-expanded database from the SSD.
+func (m *Model) EstimateCMSW(w Workload) Estimate {
+	w = w.withDefaults()
+	enc := m.CMEncryptedBytes(w)
+	dmBytes := m.dmBytesSW(enc, w.NumQueries)
+	dm := dmBytes / m.Cal.SSDStreamBW
+	adds := float64(m.CMHomAdds(w))
+	compute := adds * m.Cal.TAddSW.Seconds()
+	post := float64(m.CMChunks(w)) * float64(w.NumQueries) * m.Cal.TPostChunk.Seconds()
+	return Estimate{
+		System:          "CM-SW",
+		Seconds:         dm + compute + post,
+		EnergyJ:         m.hostEnergy(dmBytes, dm, compute, post),
+		DataMoveSeconds: dm,
+		ComputeSeconds:  compute,
+		PostSeconds:     post,
+	}
+}
+
+// EstimateArith models the arithmetic baseline [27]: 2 Hom-Muls + 3
+// Hom-Adds per single-bit-packed chunk per query, with its 64× footprint
+// streamed from the SSD.
+func (m *Model) EstimateArith(w Workload) Estimate {
+	w = w.withDefaults()
+	enc := m.ArithEncryptedBytes(w)
+	dmBytes := m.dmBytesSW(enc, w.NumQueries)
+	dm := dmBytes / m.Cal.SSDStreamBW
+	muls, adds := m.ArithOps(w)
+	compute := float64(muls)*m.Cal.TMulSW.Seconds() + float64(adds)*m.Cal.TAddSW.Seconds()
+	post := float64(m.ArithChunks(w)) * float64(w.NumQueries) * m.Cal.TPostChunk.Seconds()
+	return Estimate{
+		System:          "Arithmetic [27]",
+		Seconds:         dm + compute + post,
+		EnergyJ:         m.hostEnergy(dmBytes, dm, compute, post),
+		DataMoveSeconds: dm,
+		ComputeSeconds:  compute,
+		PostSeconds:     post,
+	}
+}
+
+// ArithMulFraction returns Fig. 2(c)'s quantity: the fraction of the
+// arithmetic baseline's homomorphic-operation latency spent in
+// multiplication.
+func (m *Model) ArithMulFraction(w Workload) float64 {
+	muls, adds := m.ArithOps(w)
+	mulT := float64(muls) * m.Cal.TMulSW.Seconds()
+	addT := float64(adds) * m.Cal.TAddSW.Seconds()
+	return mulT / (mulT + addT)
+}
+
+// EstimateBoolean models the Boolean baseline [17]: per aligned window
+// position, y XNOR + (y-1) AND TFHE gates over the whole per-bit-encrypted
+// database.
+func (m *Model) EstimateBoolean(w Workload) Estimate {
+	w = w.withDefaults()
+	enc := m.BooleanEncryptedBytes(w)
+	dmBytes := m.dmBytesSW(enc, w.NumQueries)
+	dm := dmBytes / m.Cal.SSDStreamBW
+	gates := float64(m.BooleanGates(w)) * float64(w.NumQueries)
+	compute := gates * m.Cal.TGateBool.Seconds()
+	return Estimate{
+		System:          "Boolean [17]",
+		Seconds:         dm + compute,
+		EnergyJ:         m.hostEnergy(dmBytes, dm, compute, 0),
+		DataMoveSeconds: dm,
+		ComputeSeconds:  compute,
+	}
+}

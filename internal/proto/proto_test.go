@@ -1,0 +1,214 @@
+package proto
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/mathutil"
+	"ciphermatch/internal/rng"
+)
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, MsgQuery, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != MsgQuery || string(payload) != "hello" {
+		t.Fatalf("roundtrip: type=%d payload=%q", msgType, payload)
+	}
+}
+
+func TestMessageLimits(t *testing.T) {
+	var buf bytes.Buffer
+	// A forged oversized header must be rejected without allocation.
+	buf.Write([]byte{MsgQuery, 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestDBRoundtrip(t *testing.T) {
+	p := bfv.ParamsToy()
+	client, err := core.NewClient(core.Config{Params: p}, rng.NewSourceFromString("proto-db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 160)
+	rng.NewSourceFromString("payload").Bytes(data)
+	db, err := client.EncryptDatabase(data, 1280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDB(EncodeDB(db, p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.BitLen != db.BitLen || back.NumSegments != db.NumSegments || len(back.Chunks) != len(db.Chunks) {
+		t.Fatal("metadata lost")
+	}
+	r := p.Ring()
+	for i := range db.Chunks {
+		for c := range db.Chunks[i].C {
+			if !r.Equal(back.Chunks[i].C[c], db.Chunks[i].C[c]) {
+				t.Fatalf("chunk %d comp %d corrupted", i, c)
+			}
+		}
+	}
+}
+
+func TestQueryRoundtrip(t *testing.T) {
+	p := bfv.ParamsToy()
+	client, err := core.NewClient(core.Config{Params: p, Mode: core.ModeSeededMatch}, rng.NewSourceFromString("proto-q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.PrepareQuery([]byte{0xAB, 0xCD, 0xEF}, 24, 1280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeQuery(EncodeQuery(q, p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.YBits != q.YBits || back.AlignBits != q.AlignBits ||
+		back.DBBitLen != q.DBBitLen || back.NumChunks != q.NumChunks {
+		t.Fatal("query metadata lost")
+	}
+	if len(back.Residues) != len(q.Residues) || len(back.Patterns) != len(q.Patterns) ||
+		len(back.Tokens) != len(q.Tokens) {
+		t.Fatal("query structure lost")
+	}
+	r := p.Ring()
+	for psi, ct := range q.Patterns {
+		for c := range ct.C {
+			if !r.Equal(back.Patterns[psi].C[c], ct.C[c]) {
+				t.Fatalf("pattern %d corrupted", psi)
+			}
+		}
+	}
+	for res, toks := range q.Tokens {
+		for j := range toks {
+			if !r.Equal(back.Tokens[res][j], toks[j]) {
+				t.Fatalf("token %d/%d corrupted", res, j)
+			}
+		}
+	}
+}
+
+func TestResultRoundtrip(t *testing.T) {
+	in := []int{0, 16, 1024, 99999}
+	out, err := DecodeResult(EncodeResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatal("length lost")
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("values lost")
+		}
+	}
+	empty, err := DecodeResult(EncodeResult(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatal("empty result roundtrip failed")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	p := bfv.ParamsToy()
+	client, _ := core.NewClient(core.Config{Params: p}, rng.NewSourceFromString("trunc"))
+	data := make([]byte, 16)
+	db, _ := client.EncryptDatabase(data, 128)
+	enc := EncodeDB(db, p)
+	for _, cut := range []int{1, 7, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeDB(enc[:cut], p); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestEndToEndOverTCP runs the full two-round protocol over a real socket:
+// upload encrypted database, search, receive indices.
+func TestEndToEndOverTCP(t *testing.T) {
+	p := bfv.ParamsToy()
+	cfg := core.Config{Params: p, AlignBits: 8, Mode: core.ModeSeededMatch}
+	client, err := core.NewClient(cfg, rng.NewSourceFromString("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := make([]byte, 192)
+	rng.NewSourceFromString("tcp-data").Bytes(data)
+	query := []byte{0xFE, 0xED, 0xFA, 0xCE}
+	for j := 0; j < 32; j++ {
+		mathutil.SetBit(data, 200+j, mathutil.GetBit(query, j))
+	}
+
+	db, err := client.EncryptDatabase(data, 1536)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv := NewServer(p)
+	go srv.Serve(l) //nolint:errcheck // returns when the listener closes
+
+	conn, err := Dial(l.Addr().String(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.UploadDB(db); err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.PrepareQuery(query, 32, 1536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Must equal the local search result.
+	local := core.NewServer(p, db)
+	ir, err := local.SearchAndIndex(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ir.Candidates) {
+		t.Fatalf("remote %v != local %v", got, ir.Candidates)
+	}
+	for i := range got {
+		if got[i] != ir.Candidates[i] {
+			t.Fatalf("remote %v != local %v", got, ir.Candidates)
+		}
+	}
+	found := false
+	for _, c := range got {
+		if c == 200 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted occurrence at 200 missing from %v", got)
+	}
+
+	// Searching without tokens must be rejected client-side.
+	q.Tokens = nil
+	if _, err := conn.Search(q); err == nil {
+		t.Fatal("tokenless remote search accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package proto
+
+import (
+	"testing"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/rng"
+)
+
+// TestDecodeGarbageNeverPanics feeds random byte soup to every decoder: a
+// malicious peer must only ever cause an error, never a panic or a huge
+// allocation.
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	p := bfv.ParamsToy()
+	src := rng.NewSourceFromString("garbage")
+	for trial := 0; trial < 200; trial++ {
+		n := src.Intn(256)
+		buf := make([]byte, n)
+		src.Bytes(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decoder panicked on %d garbage bytes: %v", n, r)
+				}
+			}()
+			_, _ = DecodeDB(buf, p)
+			_, _ = DecodeQuery(buf, p)
+			_, _ = DecodeResult(buf)
+		}()
+	}
+}
+
+func TestPolyLengthLimit(t *testing.T) {
+	// A forged polynomial length must be rejected before allocation.
+	var b buffer
+	b.putInt(1 << 24) // absurd coefficient count
+	rb := buffer{data: b.data}
+	if _, err := rb.poly(4); err == nil {
+		t.Fatal("oversized polynomial length accepted")
+	}
+}

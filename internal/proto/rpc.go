@@ -1,0 +1,148 @@
+package proto
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+)
+
+// Server is the network-facing CIPHERMATCH server: it stores one encrypted
+// database per process and answers CM searches. It never holds key
+// material; in ModeSeededMatch it only learns the hit pattern it returns.
+type Server struct {
+	params bfv.Params
+
+	mu   sync.Mutex
+	core *core.Server
+}
+
+// NewServer creates a server for the given parameters.
+func NewServer(params bfv.Params) *Server {
+	return &Server{params: params}
+}
+
+// Serve accepts connections until the listener closes. Each connection may
+// carry any number of requests.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		msgType, payload, err := ReadMessage(conn)
+		if err != nil {
+			return // EOF or broken peer; nothing to answer
+		}
+		if err := s.handleMessage(conn, msgType, payload); err != nil {
+			_ = WriteMessage(conn, MsgError, []byte(err.Error()))
+			return
+		}
+	}
+}
+
+func (s *Server) handleMessage(conn net.Conn, msgType byte, payload []byte) error {
+	switch msgType {
+	case MsgUploadDB:
+		db, err := DecodeDB(payload, s.params)
+		if err != nil {
+			return fmt.Errorf("decoding database: %w", err)
+		}
+		s.mu.Lock()
+		s.core = core.NewServer(s.params, db)
+		s.mu.Unlock()
+		return WriteMessage(conn, MsgAck, nil)
+	case MsgQuery:
+		q, err := DecodeQuery(payload, s.params)
+		if err != nil {
+			return fmt.Errorf("decoding query: %w", err)
+		}
+		s.mu.Lock()
+		srv := s.core
+		s.mu.Unlock()
+		if srv == nil {
+			return fmt.Errorf("no database uploaded")
+		}
+		ir, err := srv.SearchAndIndex(q)
+		if err != nil {
+			return fmt.Errorf("search: %w", err)
+		}
+		return WriteMessage(conn, MsgResult, EncodeResult(ir.Candidates))
+	default:
+		return fmt.Errorf("unexpected message type %d", msgType)
+	}
+}
+
+// Conn is the client side of the protocol.
+type Conn struct {
+	params bfv.Params
+	conn   net.Conn
+}
+
+// Dial connects to a CIPHERMATCH server.
+func Dial(addr string, params bfv.Params) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{params: params, conn: c}, nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// UploadDB ships the encrypted database to the server.
+func (c *Conn) UploadDB(db *core.EncryptedDB) error {
+	if err := WriteMessage(c.conn, MsgUploadDB, EncodeDB(db, c.params)); err != nil {
+		return err
+	}
+	return c.expectAck()
+}
+
+// Search runs one remote search and returns the candidate offsets. The
+// query must carry match tokens (core.ModeSeededMatch): the server
+// generates the index and only the index travels back.
+func (c *Conn) Search(q *core.Query) ([]int, error) {
+	if q.Tokens == nil {
+		return nil, fmt.Errorf("proto: remote search requires match tokens (core.ModeSeededMatch)")
+	}
+	if err := WriteMessage(c.conn, MsgQuery, EncodeQuery(q, c.params)); err != nil {
+		return nil, err
+	}
+	msgType, payload, err := ReadMessage(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch msgType {
+	case MsgResult:
+		return DecodeResult(payload)
+	case MsgError:
+		return nil, fmt.Errorf("proto: server error: %s", payload)
+	default:
+		return nil, fmt.Errorf("proto: unexpected reply type %d", msgType)
+	}
+}
+
+func (c *Conn) expectAck() error {
+	msgType, payload, err := ReadMessage(c.conn)
+	if err != nil {
+		return err
+	}
+	switch msgType {
+	case MsgAck:
+		return nil
+	case MsgError:
+		return fmt.Errorf("proto: server error: %s", payload)
+	default:
+		return fmt.Errorf("proto: unexpected reply type %d", msgType)
+	}
+}

@@ -1,0 +1,324 @@
+// Package proto implements a length-prefixed binary wire protocol for the
+// CIPHERMATCH client-server deployment (§2.2): the client uploads its
+// packed, encrypted database once, then each search is a single
+// request/response round — the low-communication-complexity property HE
+// affords over garbled-circuit or MPC approaches.
+//
+// Wire format: every message is 1 type byte + 4-byte little-endian payload
+// length + payload. Ciphertext coefficients travel as ceil(log2 q / 8)-byte
+// little-endian integers, so wire sizes match the paper's footprint
+// accounting.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/ring"
+)
+
+// Message types.
+const (
+	MsgUploadDB byte = 1
+	MsgQuery    byte = 2
+	MsgResult   byte = 3
+	MsgError    byte = 4
+	MsgAck      byte = 5
+)
+
+// MaxPayload bounds a single message (1 GiB) to keep a malformed peer from
+// forcing huge allocations.
+const MaxPayload = 1 << 30
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("proto: payload of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = msgType
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (msgType byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("proto: payload of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// buffer is a simple append/consume byte cursor.
+type buffer struct {
+	data []byte
+	off  int
+}
+
+func (b *buffer) putUint32(v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.data = append(b.data, tmp[:]...)
+}
+
+func (b *buffer) putInt(v int) { b.putUint32(uint32(v)) }
+
+func (b *buffer) uint32() (uint32, error) {
+	if b.off+4 > len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint32(b.data[b.off:])
+	b.off += 4
+	return v, nil
+}
+
+func (b *buffer) int() (int, error) {
+	v, err := b.uint32()
+	return int(v), err
+}
+
+// count reads an element count and validates it against the remaining
+// payload (each element encodes at least minElemBytes), so forged counts
+// cannot force huge allocations.
+func (b *buffer) count(minElemBytes int) (int, error) {
+	n, err := b.int()
+	if err != nil {
+		return 0, err
+	}
+	remaining := len(b.data) - b.off
+	if n < 0 || n*minElemBytes > remaining {
+		return 0, fmt.Errorf("proto: count %d exceeds remaining payload %d", n, remaining)
+	}
+	return n, nil
+}
+
+// putPoly appends a polynomial as qBytes-wide little-endian coefficients.
+func (b *buffer) putPoly(p ring.Poly, qBytes int) {
+	b.putInt(len(p))
+	var tmp [8]byte
+	for _, c := range p {
+		binary.LittleEndian.PutUint64(tmp[:], c)
+		b.data = append(b.data, tmp[:qBytes]...)
+	}
+}
+
+func (b *buffer) poly(qBytes int) (ring.Poly, error) {
+	n, err := b.count(qBytes)
+	if err != nil {
+		return nil, err
+	}
+	need := n * qBytes
+	if b.off+need > len(b.data) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make(ring.Poly, n)
+	var tmp [8]byte
+	for i := 0; i < n; i++ {
+		clear(tmp[:])
+		copy(tmp[:qBytes], b.data[b.off:b.off+qBytes])
+		out[i] = binary.LittleEndian.Uint64(tmp[:])
+		b.off += qBytes
+	}
+	return out, nil
+}
+
+func (b *buffer) putCiphertext(ct *bfv.Ciphertext, qBytes int) {
+	b.putInt(len(ct.C))
+	for _, p := range ct.C {
+		b.putPoly(p, qBytes)
+	}
+}
+
+func (b *buffer) ciphertext(qBytes int) (*bfv.Ciphertext, error) {
+	n, err := b.int()
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 || n > 3 {
+		return nil, fmt.Errorf("proto: ciphertext with %d components", n)
+	}
+	ct := &bfv.Ciphertext{C: make([]ring.Poly, n)}
+	for i := range ct.C {
+		if ct.C[i], err = b.poly(qBytes); err != nil {
+			return nil, err
+		}
+	}
+	return ct, nil
+}
+
+// EncodeDB serialises an encrypted database.
+func EncodeDB(db *core.EncryptedDB, p bfv.Params) []byte {
+	var b buffer
+	b.putInt(db.BitLen)
+	b.putInt(db.NumSegments)
+	b.putInt(len(db.Chunks))
+	qb := p.QBytes()
+	for _, ct := range db.Chunks {
+		b.putCiphertext(ct, qb)
+	}
+	return b.data
+}
+
+// DecodeDB is the inverse of EncodeDB.
+func DecodeDB(data []byte, p bfv.Params) (*core.EncryptedDB, error) {
+	b := buffer{data: data}
+	db := &core.EncryptedDB{}
+	var err error
+	if db.BitLen, err = b.int(); err != nil {
+		return nil, err
+	}
+	if db.NumSegments, err = b.int(); err != nil {
+		return nil, err
+	}
+	n, err := b.count(8) // a ciphertext encodes at least two length words
+	if err != nil {
+		return nil, err
+	}
+	qb := p.QBytes()
+	db.Chunks = make([]*bfv.Ciphertext, n)
+	for i := range db.Chunks {
+		if db.Chunks[i], err = b.ciphertext(qb); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// EncodeQuery serialises a query (patterns and, when present, match
+// tokens).
+func EncodeQuery(q *core.Query, p bfv.Params) []byte {
+	var b buffer
+	b.putInt(q.YBits)
+	b.putInt(q.AlignBits)
+	b.putInt(q.DBBitLen)
+	b.putInt(q.NumChunks)
+	b.putInt(len(q.Residues))
+	for _, r := range q.Residues {
+		b.putInt(r)
+	}
+	qb := p.QBytes()
+	b.putInt(len(q.Patterns))
+	for psi, ct := range q.Patterns {
+		b.putInt(psi)
+		b.putCiphertext(ct, qb)
+	}
+	b.putInt(len(q.Tokens))
+	for res, toks := range q.Tokens {
+		b.putInt(res)
+		b.putInt(len(toks))
+		for _, tok := range toks {
+			b.putPoly(tok, qb)
+		}
+	}
+	return b.data
+}
+
+// DecodeQuery is the inverse of EncodeQuery.
+func DecodeQuery(data []byte, p bfv.Params) (*core.Query, error) {
+	b := buffer{data: data}
+	q := &core.Query{Patterns: map[int]*bfv.Ciphertext{}}
+	var err error
+	if q.YBits, err = b.int(); err != nil {
+		return nil, err
+	}
+	if q.AlignBits, err = b.int(); err != nil {
+		return nil, err
+	}
+	if q.DBBitLen, err = b.int(); err != nil {
+		return nil, err
+	}
+	if q.NumChunks, err = b.int(); err != nil {
+		return nil, err
+	}
+	nres, err := b.count(4)
+	if err != nil {
+		return nil, err
+	}
+	q.Residues = make([]int, nres)
+	for i := range q.Residues {
+		if q.Residues[i], err = b.int(); err != nil {
+			return nil, err
+		}
+	}
+	qb := p.QBytes()
+	npat, err := b.count(8) // psi word + ciphertext header
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < npat; i++ {
+		psi, err := b.int()
+		if err != nil {
+			return nil, err
+		}
+		if q.Patterns[psi], err = b.ciphertext(qb); err != nil {
+			return nil, err
+		}
+	}
+	ntok, err := b.count(8) // residue word + token-count word
+	if err != nil {
+		return nil, err
+	}
+	if ntok > 0 {
+		q.Tokens = make(map[int][]ring.Poly, ntok)
+	}
+	for i := 0; i < ntok; i++ {
+		res, err := b.int()
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := b.count(4)
+		if err != nil {
+			return nil, err
+		}
+		toks := make([]ring.Poly, cnt)
+		for j := range toks {
+			if toks[j], err = b.poly(qb); err != nil {
+				return nil, err
+			}
+		}
+		q.Tokens[res] = toks
+	}
+	return q, nil
+}
+
+// EncodeResult serialises candidate offsets.
+func EncodeResult(candidates []int) []byte {
+	var b buffer
+	b.putInt(len(candidates))
+	for _, c := range candidates {
+		b.putUint32(uint32(c))
+	}
+	return b.data
+}
+
+// DecodeResult is the inverse of EncodeResult.
+func DecodeResult(data []byte) ([]int, error) {
+	b := buffer{data: data}
+	n, err := b.count(4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, n)
+	for i := range out {
+		if out[i], err = b.int(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package pum
+
+import (
+	"fmt"
+
+	"ciphermatch/internal/mathutil"
+)
+
+// Row-layout convention for bit-serial addition: operand A's bit i lives in
+// row rowA+i, operand B's bit i in row rowB+i, and the sum's bit i is
+// produced in row rowSum+i — the vertical layout of SIMDRAM [49], mirroring
+// the flash adder. Scratch rows host the carry and intermediates.
+const (
+	scratchCarry   = -1 // Cin
+	scratchNotCin  = -2
+	scratchT1      = -3 // MAJ(A,B,NOT(Cin))
+	scratchCout    = -4
+	scratchNotCout = -5
+	scratchZero    = -6
+	scratchA       = -7
+	scratchB       = -8
+)
+
+// BitSerialAdd32 adds the 32-bit vertically-laid-out operands at rowA and
+// rowB into rowSum, every lane of the row in parallel, mod 2^32. It uses
+// the majority full adder:
+//
+//	Cout = MAJ(A, B, Cin)
+//	S    = MAJ(NOT(Cout), MAJ(A, B, NOT(Cin)), Cin)
+func (b *Bank) BitSerialAdd32(rowA, rowB, rowSum int) {
+	// Carry starts at zero.
+	b.row(scratchZero)
+	b.RowClone(scratchZero, scratchCarry)
+	for i := 0; i < 32; i++ {
+		b.RowClone(rowA+i, scratchA)
+		b.RowClone(rowB+i, scratchB)
+		b.Maj3(scratchA, scratchB, scratchCarry, scratchCout)
+		b.Not(scratchCarry, scratchNotCin)
+		b.Maj3(scratchA, scratchB, scratchNotCin, scratchT1)
+		b.Not(scratchCout, scratchNotCout)
+		b.Maj3(scratchNotCout, scratchT1, scratchCarry, rowSum+i)
+		b.RowClone(scratchCout, scratchCarry)
+	}
+}
+
+// WriteVertical stores coeffs (one 32-bit value per lane) into 32
+// consecutive rows starting at rowBase, in vertical layout.
+func (b *Bank) WriteVertical(rowBase int, coeffs []uint32) error {
+	if len(coeffs) > b.cfg.RowBits() {
+		return fmt.Errorf("pum: %d coefficients exceed %d row lanes", len(coeffs), b.cfg.RowBits())
+	}
+	planes := make([][]uint64, 32)
+	for i := range planes {
+		planes[i] = make([]uint64, b.words)
+	}
+	mathutil.TransposeToBitPlanes(coeffs, planes)
+	for i := 0; i < 32; i++ {
+		if err := b.WriteRow(rowBase+i, planes[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadVertical reads numCoeffs coefficients from the vertical layout at
+// rowBase.
+func (b *Bank) ReadVertical(rowBase, numCoeffs int) []uint32 {
+	planes := make([][]uint64, 32)
+	for i := 0; i < 32; i++ {
+		planes[i] = b.ReadRow(rowBase + i)
+	}
+	coeffs := make([]uint32, numCoeffs)
+	mathutil.TransposeFromBitPlanes(planes, coeffs)
+	return coeffs
+}
+
+// Add32 is the convenience form: adds the vertical operands at rowA and
+// rowB and returns the first numCoeffs lane sums.
+func (b *Bank) Add32(rowA, rowB, rowSum, numCoeffs int) []uint32 {
+	b.BitSerialAdd32(rowA, rowB, rowSum)
+	return b.ReadVertical(rowSum, numCoeffs)
+}

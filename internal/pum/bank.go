@@ -1,0 +1,110 @@
+package pum
+
+import (
+	"fmt"
+	"time"
+)
+
+// Bank is one functional PuM DRAM bank: a sparse set of rows supporting
+// RowClone copies and MAJ3/NOT bulk operations. Row indices are abstract;
+// a real SIMDRAM deployment constrains compute rows to designated subarray
+// groups, which the simulator does not need to model for correctness.
+type Bank struct {
+	cfg   Config
+	words int
+	rows  map[int][]uint64
+	stats Stats
+}
+
+// Stats accumulates bulk-operation counts, time and energy for a bank.
+type Stats struct {
+	MajOps    int
+	NotOps    int
+	RowClones int
+	Time      time.Duration
+	Energy    float64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.MajOps += other.MajOps
+	s.NotOps += other.NotOps
+	s.RowClones += other.RowClones
+	s.Time += other.Time
+	s.Energy += other.Energy
+}
+
+// NewBank creates a functional bank for the given configuration.
+func NewBank(cfg Config) *Bank {
+	return &Bank{cfg: cfg, words: cfg.RowBytes / 8, rows: make(map[int][]uint64)}
+}
+
+// Stats returns the accumulated statistics.
+func (b *Bank) Stats() Stats { return b.stats }
+
+// ResetStats clears the statistics.
+func (b *Bank) ResetStats() { b.stats = Stats{} }
+
+// Config returns the bank configuration.
+func (b *Bank) Config() Config { return b.cfg }
+
+func (b *Bank) row(i int) []uint64 {
+	r, ok := b.rows[i]
+	if !ok {
+		r = make([]uint64, b.words)
+		b.rows[i] = r
+	}
+	return r
+}
+
+// WriteRow stores data into row i (host write; not a bulk op).
+func (b *Bank) WriteRow(i int, data []uint64) error {
+	if len(data) != b.words {
+		return fmt.Errorf("pum: row data must be %d words, got %d", b.words, len(data))
+	}
+	copy(b.row(i), data)
+	return nil
+}
+
+// ReadRow returns a copy of row i.
+func (b *Bank) ReadRow(i int) []uint64 {
+	out := make([]uint64, b.words)
+	copy(out, b.row(i))
+	return out
+}
+
+func (b *Bank) chargeBbop() {
+	b.stats.Time += b.cfg.Tbbop
+	b.stats.Energy += b.cfg.Ebbop
+}
+
+// RowClone copies row src to row dst using in-DRAM copy (RowClone [119]).
+func (b *Bank) RowClone(src, dst int) {
+	copy(b.row(dst), b.row(src))
+	b.stats.RowClones++
+	b.chargeBbop()
+}
+
+// Maj3 computes the bitwise majority of rows a, b, c into dst
+// (triple-row activation).
+func (b *Bank) Maj3(a, c, d, dst int) {
+	ra, rc, rd := b.row(a), b.row(c), b.row(d)
+	out := b.row(dst)
+	for i := range out {
+		out[i] = (ra[i] & rc[i]) | (ra[i] & rd[i]) | (rc[i] & rd[i])
+	}
+	b.stats.MajOps++
+	b.chargeBbop()
+}
+
+// Not computes the bitwise complement of row src into dst (dual-contact
+// cell readout).
+func (b *Bank) Not(src, dst int) {
+	rs := b.row(src)
+	out := b.row(dst)
+	for i := range out {
+		out[i] = ^rs[i]
+	}
+	b.stats.NotOps++
+	b.chargeBbop()
+}

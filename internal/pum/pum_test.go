@@ -1,0 +1,173 @@
+package pum
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ciphermatch/internal/rng"
+)
+
+func testConfig() Config {
+	c := ExternalDDR4()
+	c.RowBytes = 256 // keep test rows small (2048 lanes)
+	return c
+}
+
+func TestConfigDerived(t *testing.T) {
+	ddr := ExternalDDR4()
+	if ddr.ParallelBanks() != 64 {
+		t.Errorf("DDR4 parallel banks = %d, want 64 (4ch x 16)", ddr.ParallelBanks())
+	}
+	lp := InternalLPDDR4()
+	if lp.ParallelBanks() != 8 {
+		t.Errorf("LPDDR4 parallel banks = %d, want 8", lp.ParallelBanks())
+	}
+	if ddr.RowBits() != 65536 {
+		t.Errorf("row bits = %d, want 65536", ddr.RowBits())
+	}
+	// 32-bit add: 32 × 8 ops × 49 ns = 12.544 µs.
+	if got := ddr.Add32Latency().Nanoseconds(); got != 32*8*49 {
+		t.Errorf("Add32Latency = %dns, want %d", got, 32*8*49)
+	}
+}
+
+func TestMajNotRowClone(t *testing.T) {
+	b := NewBank(testConfig())
+	src := rng.NewSourceFromString("pum-ops")
+	ra := make([]uint64, b.words)
+	rb := make([]uint64, b.words)
+	rc := make([]uint64, b.words)
+	for i := 0; i < b.words; i++ {
+		ra[i], rb[i], rc[i] = src.Uint64(), src.Uint64(), src.Uint64()
+	}
+	b.WriteRow(0, ra)
+	b.WriteRow(1, rb)
+	b.WriteRow(2, rc)
+	b.Maj3(0, 1, 2, 3)
+	maj := b.ReadRow(3)
+	for i := range maj {
+		want := (ra[i] & rb[i]) | (ra[i] & rc[i]) | (rb[i] & rc[i])
+		if maj[i] != want {
+			t.Fatal("Maj3 wrong")
+		}
+	}
+	b.Not(0, 4)
+	not := b.ReadRow(4)
+	for i := range not {
+		if not[i] != ^ra[i] {
+			t.Fatal("Not wrong")
+		}
+	}
+	b.RowClone(1, 5)
+	clone := b.ReadRow(5)
+	for i := range clone {
+		if clone[i] != rb[i] {
+			t.Fatal("RowClone wrong")
+		}
+	}
+	s := b.Stats()
+	if s.MajOps != 1 || s.NotOps != 1 || s.RowClones != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Time != 3*testConfig().Tbbop {
+		t.Fatalf("time = %v", s.Time)
+	}
+}
+
+func TestBitSerialAdd32(t *testing.T) {
+	b := NewBank(testConfig())
+	src := rng.NewSourceFromString("pum-add")
+	n := 100
+	a := make([]uint32, n)
+	c := make([]uint32, n)
+	for i := range a {
+		a[i] = uint32(src.Uint64())
+		c[i] = uint32(src.Uint64())
+	}
+	if err := b.WriteVertical(100, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteVertical(200, c); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Add32(100, 200, 300, n)
+	for i := range a {
+		if got[i] != a[i]+c[i] {
+			t.Fatalf("lane %d: %d + %d != %d", i, a[i], c[i], got[i])
+		}
+	}
+}
+
+func TestBitSerialAddCarryEdge(t *testing.T) {
+	b := NewBank(testConfig())
+	a := []uint32{0xFFFFFFFF, 0x80000000, 0x7FFFFFFF}
+	c := []uint32{1, 0x80000000, 1}
+	b.WriteVertical(0, a)
+	b.WriteVertical(32, c)
+	got := b.Add32(0, 32, 64, 3)
+	want := []uint32{0, 0, 0x80000000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lane %d: got %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddOpCountsMatchModel(t *testing.T) {
+	b := NewBank(testConfig())
+	b.WriteVertical(0, []uint32{1})
+	b.WriteVertical(32, []uint32{2})
+	b.ResetStats()
+	b.BitSerialAdd32(0, 32, 64)
+	s := b.Stats()
+	if s.MajOps != 32*3 || s.NotOps != 32*2 {
+		t.Fatalf("bulk ops %+v, want 3 MAJ + 2 NOT per bit", s)
+	}
+	if s.MajOps+s.NotOps != 32*AddBbopsPerBit {
+		t.Fatalf("bbop count inconsistent with AddBbopsPerBit")
+	}
+	// 3 RowClones per bit plus the initial carry reset.
+	if s.RowClones != 32*AddRowClonesPerBit+1 {
+		t.Fatalf("RowClones = %d, want %d", s.RowClones, 32*AddRowClonesPerBit+1)
+	}
+}
+
+func TestAddProperty(t *testing.T) {
+	b := NewBank(testConfig())
+	f := func(a, c []uint32) bool {
+		if len(a) == 0 {
+			return true
+		}
+		if len(a) > b.cfg.RowBits() {
+			a = a[:b.cfg.RowBits()]
+		}
+		if len(c) < len(a) {
+			tmp := make([]uint32, len(a))
+			copy(tmp, c)
+			c = tmp
+		}
+		c = c[:len(a)]
+		b.WriteVertical(0, a)
+		b.WriteVertical(32, c)
+		got := b.Add32(0, 32, 64, len(a))
+		for i := range a {
+			if got[i] != a[i]+c[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRowValidation(t *testing.T) {
+	b := NewBank(testConfig())
+	if err := b.WriteRow(0, make([]uint64, 1)); err == nil {
+		t.Error("accepted short row")
+	}
+	if err := b.WriteVertical(0, make([]uint32, b.cfg.RowBits()+1)); err == nil {
+		t.Error("accepted too many lanes")
+	}
+}

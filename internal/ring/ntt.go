@@ -1,0 +1,201 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// This file adds number-theoretic-transform multiplication for prime
+// moduli with q ≡ 1 (mod 2n) — the algorithm SEAL (the paper's software
+// baseline substrate) uses, included both for completeness and so the
+// ablation benchmarks can quantify the schoolbook/Karatsuba/NTT trade-off.
+// The negacyclic wrap is folded into the transform by twisting with a
+// primitive 2n-th root of unity ψ (Longa–Naehrig tables in bit-reversed
+// order).
+
+// ntt holds the precomputed tables for one ring.
+type ntt struct {
+	psiRev    []uint64 // ψ^bitrev(i)
+	psiInvRev []uint64 // ψ^{-bitrev(i)}
+	nInv      uint64   // n^{-1} mod q
+}
+
+// NTTAvailable reports whether the ring supports NTT multiplication
+// (prime q with q ≡ 1 mod 2n).
+func (r *Ring) NTTAvailable() bool {
+	r.initNTT()
+	return r.ntt != nil
+}
+
+// initNTT lazily builds the tables; failure (composite q or missing root)
+// leaves r.ntt nil and the generic paths in use.
+func (r *Ring) initNTT() {
+	if r.nttChecked {
+		return
+	}
+	r.nttChecked = true
+	if r.qIsPow2 || (r.q-1)%uint64(2*r.n) != 0 {
+		return
+	}
+	if !new(big.Int).SetUint64(r.q).ProbablyPrime(20) {
+		return
+	}
+	psi, ok := findPrimitive2NRoot(r.q, uint64(r.n))
+	if !ok {
+		return
+	}
+	n := r.n
+	logN := int(r.logN)
+	tbl := &ntt{
+		psiRev:    make([]uint64, n),
+		psiInvRev: make([]uint64, n),
+		nInv:      invMod(uint64(n), r.q),
+	}
+	psiInv := invMod(psi, r.q)
+	p, pi := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		j := reverseBits(uint32(i), logN)
+		tbl.psiRev[j] = p
+		tbl.psiInvRev[j] = pi
+		p = mulMod(p, psi, r.q)
+		pi = mulMod(pi, psiInv, r.q)
+	}
+	r.ntt = tbl
+}
+
+// MulNTT sets out = a * b using the negacyclic NTT. out must not alias
+// a or b. Panics if the ring has no NTT support (check NTTAvailable).
+func (r *Ring) MulNTT(a, b, out Poly) {
+	r.initNTT()
+	if r.ntt == nil {
+		panic("ring: MulNTT on a ring without NTT support")
+	}
+	ta := r.Clone(a)
+	tb := r.Clone(b)
+	r.nttForward(ta)
+	r.nttForward(tb)
+	for i := range out {
+		out[i] = mulMod(ta[i], tb[i], r.q)
+	}
+	r.nttInverse(out)
+}
+
+// nttForward transforms a in place (Cooley-Tukey, decimation in time,
+// ψ-twisted for the negacyclic ring).
+func (r *Ring) nttForward(a Poly) {
+	q := r.q
+	t := r.n
+	for m := 1; m < r.n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * t
+			s := r.ntt.psiRev[m+i]
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := mulMod(a[j+t], s, q)
+				a[j] = addMod(u, v, q)
+				a[j+t] = subMod(u, v, q)
+			}
+		}
+	}
+}
+
+// nttInverse is the Gentleman-Sande inverse transform with the final
+// scaling by n^{-1}.
+func (r *Ring) nttInverse(a Poly) {
+	q := r.q
+	t := 1
+	for m := r.n; m > 1; m >>= 1 {
+		h := m >> 1
+		j1 := 0
+		for i := 0; i < h; i++ {
+			s := r.ntt.psiInvRev[h+i]
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := a[j+t]
+				a[j] = addMod(u, v, q)
+				a[j+t] = mulMod(subMod(u, v, q), s, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := range a {
+		a[i] = mulMod(a[i], r.ntt.nInv, q)
+	}
+}
+
+// findPrimitive2NRoot searches for ψ with ψ^n ≡ -1 (mod q), i.e. a
+// primitive 2n-th root of unity.
+func findPrimitive2NRoot(q, n uint64) (uint64, bool) {
+	exp := (q - 1) / (2 * n)
+	for g := uint64(2); g < 1000; g++ {
+		psi := powMod(g, exp, q)
+		if powMod(psi, n, q) == q-1 {
+			return psi, true
+		}
+	}
+	return 0, false
+}
+
+// FindNTTPrime returns the largest prime below 2^bits with
+// q ≡ 1 (mod 2n), suitable for NTT multiplication at ring degree n.
+func FindNTTPrime(bitLen uint, n int) (uint64, error) {
+	if bitLen < 10 || bitLen > 56 {
+		return 0, fmt.Errorf("ring: NTT prime bit length %d out of range [10, 56]", bitLen)
+	}
+	step := uint64(2 * n)
+	q := (uint64(1)<<bitLen - 1) / step * step
+	for ; q > step; q -= step {
+		cand := q + 1
+		if new(big.Int).SetUint64(cand).ProbablyPrime(20) {
+			if _, ok := findPrimitive2NRoot(cand, uint64(n)); ok {
+				return cand, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("ring: no NTT prime below 2^%d for n=%d", bitLen, n)
+}
+
+// --- modular helpers for generic (non-power-of-two) moduli ---
+
+func addMod(a, b, q uint64) uint64 {
+	s := a + b
+	if s >= q {
+		s -= q
+	}
+	return s
+}
+
+func subMod(a, b, q uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + q - b
+}
+
+func mulMod(a, b, q uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return bits.Rem64(hi, lo, q)
+}
+
+func powMod(base, exp, q uint64) uint64 {
+	result := uint64(1)
+	base %= q
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulMod(result, base, q)
+		}
+		base = mulMod(base, base, q)
+		exp >>= 1
+	}
+	return result
+}
+
+// invMod computes a^{-1} mod q for prime q via Fermat.
+func invMod(a, q uint64) uint64 { return powMod(a, q-2, q) }
+
+func reverseBits(v uint32, width int) uint32 {
+	return bits.Reverse32(v) >> (32 - uint(width))
+}

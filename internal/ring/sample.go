@@ -1,0 +1,39 @@
+package ring
+
+import "ciphermatch/internal/rng"
+
+// UniformPoly fills out with coefficients uniform in [0, q).
+func (r *Ring) UniformPoly(src *rng.Source, out Poly) {
+	for i := range out {
+		out[i] = src.Uniform(r.q)
+	}
+}
+
+// TernaryPoly fills out with coefficients uniform in {-1, 0, +1} (reduced
+// mod q). This is the secret-key and encryption-ephemeral distribution.
+func (r *Ring) TernaryPoly(src *rng.Source, out Poly) {
+	q := r.q
+	for i := range out {
+		switch src.Ternary() {
+		case -1:
+			out[i] = q - 1
+		case 0:
+			out[i] = 0
+		default:
+			out[i] = 1
+		}
+	}
+}
+
+// CBDPoly fills out with centered-binomial(eta) error coefficients (reduced
+// mod q).
+func (r *Ring) CBDPoly(src *rng.Source, eta int, out Poly) {
+	q := int64(r.q)
+	for i := range out {
+		v := src.CBD(eta)
+		if v < 0 {
+			v += q
+		}
+		out[i] = uint64(v)
+	}
+}

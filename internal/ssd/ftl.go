@@ -1,0 +1,258 @@
+package ssd
+
+import "fmt"
+
+// This file implements the conventional storage region of §4.3.2: the half
+// of the drive that keeps serving ordinary block I/O next to the
+// CIPHERMATCH region. Each region has its own mapping table; the
+// conventional one is a page-level L2P map with out-of-place writes and
+// greedy garbage collection, and a model of the internal-DRAM L2P cache
+// (the paper notes ~0.1% of capacity cached at sub-byte granularity; we
+// track hits/misses of a bounded cache).
+
+// ppn identifies a physical page.
+type ppn struct {
+	plane, block, wl int
+}
+
+// FTLStats counts conventional-region activity.
+type FTLStats struct {
+	HostWrites  int
+	HostReads   int
+	PageMoves   int // valid pages relocated by garbage collection
+	GCs         int
+	L2PCacheHit int
+	L2PCacheMis int
+}
+
+// ftl is the conventional-region flash translation layer.
+type ftl struct {
+	ssd   *SSD
+	l2p   map[int]ppn
+	owner map[ppn]int // reverse map: physical page -> lpn (-1 = invalid)
+
+	// Allocation cursor over the conventional block range.
+	cur      ppn
+	freeWL   int
+	cacheCap int
+	cache    map[int]struct{} // cached L2P entries (FIFO-evicted)
+	cacheQ   []int
+	stats    FTLStats
+}
+
+// convBlocks returns the block range [cmBlocks, BlocksPerPlane) of the
+// conventional region.
+func (s *SSD) convBlockStart() int { return s.cmBlocks }
+
+func newFTL(s *SSD) *ftl {
+	f := &ftl{
+		ssd:   s,
+		l2p:   make(map[int]ppn),
+		owner: make(map[ppn]int),
+		// The paper: L2P cache is ~0.1% of capacity; scale to the test
+		// geometry by caching one entry per 1000 pages, minimum 64.
+		cacheCap: max(64, s.conventionalPages()/1000),
+		cache:    make(map[int]struct{}),
+	}
+	f.cur = ppn{plane: 0, block: s.convBlockStart(), wl: 0}
+	return f
+}
+
+// conventionalPages returns the page count of the conventional region.
+func (s *SSD) conventionalPages() int {
+	g := s.cfg.Geometry
+	return (g.BlocksPerPlane - s.cmBlocks) * g.WLsPerBlock() * g.TotalPlanes()
+}
+
+// FTLStats returns the conventional-region statistics.
+func (s *SSD) FTLStats() FTLStats {
+	if s.ftl == nil {
+		return FTLStats{}
+	}
+	return s.ftl.stats
+}
+
+// Write stores one logical page (conventional I/O path). Overwrites are
+// out-of-place: the previous physical page is invalidated for GC.
+func (s *SSD) Write(lpn int, data []byte) error {
+	if s.ftl == nil {
+		s.ftl = newFTL(s)
+	}
+	return s.ftl.write(lpn, data)
+}
+
+// Read returns the logical page's contents; unwritten pages read as zeros.
+func (s *SSD) Read(lpn int) ([]byte, error) {
+	if s.ftl == nil {
+		s.ftl = newFTL(s)
+	}
+	return s.ftl.read(lpn)
+}
+
+func (f *ftl) write(lpn int, data []byte) error {
+	g := f.ssd.cfg.Geometry
+	if len(data) != g.PageBytes {
+		return fmt.Errorf("ssd: conventional write must be one %d-byte page, got %d", g.PageBytes, len(data))
+	}
+	loc, err := f.alloc()
+	if err != nil {
+		return err
+	}
+	words := make([]uint64, g.PageWords())
+	for i := range words {
+		for b := 0; b < 8; b++ {
+			words[i] |= uint64(data[i*8+b]) << uint(8*b)
+		}
+	}
+	if err := f.ssd.planes[loc.plane].ProgramPage(loc.block, loc.wl, words); err != nil {
+		return err
+	}
+	if old, ok := f.l2p[lpn]; ok {
+		f.owner[old] = -1 // invalidate for GC
+	}
+	f.l2p[lpn] = loc
+	f.owner[loc] = lpn
+	f.touchCache(lpn)
+	f.stats.HostWrites++
+	return nil
+}
+
+func (f *ftl) read(lpn int) ([]byte, error) {
+	g := f.ssd.cfg.Geometry
+	f.lookupCache(lpn)
+	loc, ok := f.l2p[lpn]
+	out := make([]byte, g.PageBytes)
+	if !ok {
+		f.stats.HostReads++
+		return out, nil
+	}
+	p := f.ssd.planes[loc.plane]
+	if err := p.ReadPage(loc.block, loc.wl); err != nil {
+		return nil, err
+	}
+	for i, w := range p.S {
+		for b := 0; b < 8; b++ {
+			out[i*8+b] = byte(w >> uint(8*b))
+		}
+	}
+	f.stats.HostReads++
+	return out, nil
+}
+
+// alloc returns the next free physical page, running garbage collection
+// when the cursor exhausts the region.
+func (f *ftl) alloc() (ppn, error) {
+	g := f.ssd.cfg.Geometry
+	for attempts := 0; attempts < 2; attempts++ {
+		for f.cur.block < g.BlocksPerPlane {
+			loc := f.cur
+			f.advance()
+			// A page is allocatable only if never programmed since the
+			// last erase; invalidated pages stay unusable until GC.
+			if _, used := f.owner[loc]; !used {
+				return loc, nil
+			}
+		}
+		if err := f.gc(); err != nil {
+			return ppn{}, err
+		}
+	}
+	return ppn{}, fmt.Errorf("ssd: conventional region full")
+}
+
+func (f *ftl) advance() {
+	g := f.ssd.cfg.Geometry
+	f.cur.wl++
+	if f.cur.wl >= g.WLsPerBlock() {
+		f.cur.wl = 0
+		f.cur.plane++
+		if f.cur.plane >= len(f.ssd.planes) {
+			f.cur.plane = 0
+			f.cur.block++
+		}
+	}
+}
+
+// gc reclaims every conventional block containing invalidated pages:
+// valid pages are read out, the block is erased, and the valid pages are
+// programmed back at its start (counted as PageMoves). Victim selection is
+// exhaustive rather than greedy — adequate for the model.
+func (f *ftl) gc() error {
+	g := f.ssd.cfg.Geometry
+	f.stats.GCs++
+	freed := false
+	for planeIdx := range f.ssd.planes {
+		plane := f.ssd.planes[planeIdx]
+		for block := f.ssd.convBlockStart(); block < g.BlocksPerPlane; block++ {
+			type saved struct {
+				lpn  int
+				data []uint64
+			}
+			var live []saved
+			invalid := 0
+			for wl := 0; wl < g.WLsPerBlock(); wl++ {
+				lpn, used := f.owner[ppn{planeIdx, block, wl}]
+				if !used {
+					continue
+				}
+				if lpn == -1 {
+					invalid++
+					continue
+				}
+				if err := plane.ReadPage(block, wl); err != nil {
+					return err
+				}
+				data := make([]uint64, len(plane.S))
+				copy(data, plane.S)
+				live = append(live, saved{lpn: lpn, data: data})
+			}
+			if invalid == 0 {
+				continue // nothing to reclaim here
+			}
+			if err := plane.EraseBlock(block); err != nil {
+				return err
+			}
+			for wl := 0; wl < g.WLsPerBlock(); wl++ {
+				delete(f.owner, ppn{planeIdx, block, wl})
+			}
+			for wl, s := range live {
+				if err := plane.ProgramPage(block, wl, s.data); err != nil {
+					return err
+				}
+				loc := ppn{planeIdx, block, wl}
+				f.l2p[s.lpn] = loc
+				f.owner[loc] = s.lpn
+				f.stats.PageMoves++
+			}
+			freed = true
+		}
+	}
+	if freed {
+		f.cur = ppn{plane: 0, block: f.ssd.convBlockStart(), wl: 0}
+		return nil
+	}
+	return fmt.Errorf("ssd: garbage collection found no reclaimable block")
+}
+
+// touchCache / lookupCache model the internal-DRAM L2P cache.
+func (f *ftl) touchCache(lpn int) {
+	if _, ok := f.cache[lpn]; ok {
+		return
+	}
+	f.cache[lpn] = struct{}{}
+	f.cacheQ = append(f.cacheQ, lpn)
+	for len(f.cacheQ) > f.cacheCap {
+		evict := f.cacheQ[0]
+		f.cacheQ = f.cacheQ[1:]
+		delete(f.cache, evict)
+	}
+}
+
+func (f *ftl) lookupCache(lpn int) {
+	if _, ok := f.cache[lpn]; ok {
+		f.stats.L2PCacheHit++
+		return
+	}
+	f.stats.L2PCacheMis++
+	f.touchCache(lpn)
+}

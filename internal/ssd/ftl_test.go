@@ -1,0 +1,159 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+
+	"ciphermatch/internal/bfv"
+	corepkg "ciphermatch/internal/core"
+	"ciphermatch/internal/rng"
+)
+
+func pageOf(t *testing.T, s *SSD, fill byte) []byte {
+	t.Helper()
+	p := make([]byte, s.cfg.Geometry.PageBytes)
+	for i := range p {
+		p[i] = fill
+	}
+	return p
+}
+
+func TestConventionalWriteReadRoundtrip(t *testing.T) {
+	s := newTestSSD(t)
+	data := make([]byte, s.cfg.Geometry.PageBytes)
+	rng.NewSourceFromString("ftl-data").Bytes(data)
+	if err := s.Write(7, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("conventional roundtrip corrupted")
+	}
+	// Unwritten LPNs read as zeros.
+	zero, err := s.Read(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range zero {
+		if b != 0 {
+			t.Fatal("unwritten LPN read non-zero")
+		}
+	}
+	if s.FTLStats().HostWrites != 1 || s.FTLStats().HostReads != 2 {
+		t.Fatalf("stats: %+v", s.FTLStats())
+	}
+}
+
+func TestConventionalOverwriteIsOutOfPlace(t *testing.T) {
+	s := newTestSSD(t)
+	if err := s.Write(1, pageOf(t, s, 0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	first := s.ftl.l2p[1]
+	if err := s.Write(1, pageOf(t, s, 0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	second := s.ftl.l2p[1]
+	if first == second {
+		t.Fatal("overwrite must go out of place")
+	}
+	got, err := s.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xBB {
+		t.Fatal("overwrite lost")
+	}
+	if lpn, used := s.ftl.owner[first]; !used || lpn != -1 {
+		t.Fatal("old physical page must be invalidated")
+	}
+}
+
+func TestConventionalRegionDisjointFromCMRegion(t *testing.T) {
+	// Conventional writes must never land in the CIPHERMATCH block range,
+	// and a CM search must still work after conventional traffic.
+	s := newTestSSD(t)
+	for lpn := 0; lpn < 20; lpn++ {
+		if err := s.Write(lpn, pageOf(t, s, byte(lpn))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, loc := range s.ftl.l2p {
+		if loc.block < s.convBlockStart() {
+			t.Fatalf("conventional page allocated in CM region block %d", loc.block)
+		}
+	}
+
+	cfg := corepkg.Config{Params: bfv.ParamsToy(), Mode: corepkg.ModeSeededMatch}
+	client, err := corepkg.NewClient(cfg, rng.NewSourceFromString("ftl-cm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 128)
+	edb, err := client.EncryptDatabase(data, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CMWriteDatabase(edb); err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.PrepareQuery([]byte{0x10, 0x20}, 16, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CMSearch(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGarbageCollectionReclaims(t *testing.T) {
+	// Shrink the conventional region to force GC quickly.
+	cfg := TestConfig()
+	cfg.Geometry.BlocksPerPlane = 2 // 1 CM block + 1 conventional block per plane
+	cfg.Geometry.Channels = 1
+	cfg.Geometry.DiesPerChan = 1
+	cfg.Geometry.PlanesPerDie = 1
+	s, err := New(cfg, bfv.ParamsToy(), SoftwareTransposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls := cfg.Geometry.WLsPerBlock()
+	// Fill the single conventional block by overwriting one LPN: every
+	// write invalidates the previous page, so the block fills with
+	// garbage and GC must reclaim it to keep going.
+	for i := 0; i < 3*wls; i++ {
+		if err := s.Write(0, pageOf(t, s, byte(i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if s.FTLStats().GCs == 0 {
+		t.Fatal("expected garbage collection to run")
+	}
+	got, err := s.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != byte(3*wls-1) {
+		t.Fatalf("latest version lost after GC: %#x", got[0])
+	}
+}
+
+func TestL2PCacheStats(t *testing.T) {
+	s := newTestSSD(t)
+	if err := s.Write(5, pageOf(t, s, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(5); err != nil { // cached by the write
+		t.Fatal(err)
+	}
+	if _, err := s.Read(5); err != nil {
+		t.Fatal(err)
+	}
+	st := s.FTLStats()
+	if st.L2PCacheHit < 2 {
+		t.Fatalf("expected cache hits, got %+v", st)
+	}
+}

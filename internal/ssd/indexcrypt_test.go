@@ -1,0 +1,71 @@
+package ssd
+
+import (
+	"testing"
+
+	"ciphermatch/internal/rng"
+)
+
+func TestIndexSealOpenRoundtrip(t *testing.T) {
+	var key [32]byte
+	rng.NewSourceFromString("index-key").Bytes(key[:])
+	c, err := NewIndexCryptor(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []int{0, 128, 4096, 1 << 30}
+	blob, lat := c.Seal(1, candidates)
+	if lat <= 0 {
+		t.Fatal("hardware latency must be positive")
+	}
+	got, err := c.Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(candidates) {
+		t.Fatalf("roundtrip %v != %v", got, candidates)
+	}
+	for i := range got {
+		if got[i] != candidates[i] {
+			t.Fatalf("roundtrip %v != %v", got, candidates)
+		}
+	}
+	// Empty index.
+	blob, _ = c.Seal(2, nil)
+	if got, err := c.Open(blob); err != nil || len(got) != 0 {
+		t.Fatalf("empty roundtrip: %v, %v", got, err)
+	}
+}
+
+func TestIndexSealIsAuthenticated(t *testing.T) {
+	var key [32]byte
+	rng.NewSourceFromString("auth-key").Bytes(key[:])
+	c, _ := NewIndexCryptor(key)
+	blob, _ := c.Seal(7, []int{42})
+	blob[len(blob)-1] ^= 1
+	if _, err := c.Open(blob); err == nil {
+		t.Fatal("tampered blob accepted")
+	}
+	// A different key must not open it either.
+	var other [32]byte
+	rng.NewSourceFromString("other-key").Bytes(other[:])
+	c2, _ := NewIndexCryptor(other)
+	blob2, _ := c.Seal(8, []int{42})
+	if _, err := c2.Open(blob2); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestIndexSealLatencyScalesWithBlocks(t *testing.T) {
+	var key [32]byte
+	c, _ := NewIndexCryptor(key)
+	_, small := c.Seal(1, []int{1})
+	_, large := c.Seal(2, make([]int, 100))
+	if large <= small {
+		t.Fatalf("latency must scale with index size: %v vs %v", small, large)
+	}
+	// 100 entries = 804 bytes = 51 blocks of 16 B at 12.6 ns.
+	if want := 51 * AESLatencyPer16B; large != want {
+		t.Fatalf("latency = %v, want %v", large, want)
+	}
+}

@@ -1,0 +1,48 @@
+package ssd
+
+// OverheadReport quantifies the storage and area overheads of enabling
+// CIPHERMATCH on a commodity SSD (§6.3 and §7.1-7.2).
+type OverheadReport struct {
+	// ResultStagingBytes is the SSD-internal DRAM needed to stage one
+	// homomorphic-addition result page per plane:
+	// page × channels × dies × planes (0.5 MB for the Table 3 drive).
+	ResultStagingBytes int64
+	// MicroprogramBytes is the bop_add µ-program footprint in internal
+	// DRAM (< 1 KB).
+	MicroprogramBytes int64
+	// SLCCapacityLossBytes is the raw capacity lost by running the
+	// CIPHERMATCH region in SLC instead of TLC mode (2 of every 3 bits of
+	// the region).
+	SLCCapacityLossBytes int64
+	// PeripheralAreaOverheadPct is the NAND die-area overhead of the
+	// ParaBit-style latch modifications (0.6%).
+	PeripheralAreaOverheadPct float64
+	// TransposeUnitAreaMM2 is the optional hardware transposition unit
+	// (0.24 mm² at 22 nm, §7.1).
+	TransposeUnitAreaMM2 float64
+	// AESUnitAreaMM2 is the AES index-encryption unit (0.13 mm², §7.2).
+	AESUnitAreaMM2 float64
+	// AESLatencyPer16B is the AES encryption latency per 16-byte block in
+	// nanoseconds (12.6 ns, §7.2).
+	AESLatencyPer16BNanos float64
+}
+
+// Overheads computes the report for an SSD instance.
+func (s *SSD) Overheads() OverheadReport {
+	g := s.cfg.Geometry
+	regionPages := int64(s.cmBlocks) * int64(g.WLsPerBlock()) * int64(g.PageBytes) *
+		int64(g.TotalPlanes())
+	return OverheadReport{
+		ResultStagingBytes:        int64(g.PageBytes) * int64(g.TotalPlanes()),
+		MicroprogramBytes:         1 << 10,
+		SLCCapacityLossBytes:      regionPages * 2, // TLC stores 3 bits/cell; SLC keeps 1
+		PeripheralAreaOverheadPct: 0.6,
+		TransposeUnitAreaMM2:      0.24,
+		AESUnitAreaMM2:            0.13,
+		AESLatencyPer16BNanos:     12.6,
+	}
+}
+
+// PaperResultStagingBytes is the value §6.3 reports for the Table 3 drive:
+// 4 KiB × 8 channels × 8 dies × 2 planes = 0.5 MiB.
+const PaperResultStagingBytes = 4096 * 8 * 8 * 2

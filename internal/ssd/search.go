@@ -1,0 +1,122 @@
+package ssd
+
+import (
+	"fmt"
+
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/flash"
+	"ciphermatch/internal/mathutil"
+)
+
+// CMSearch executes a secure string search entirely inside the SSD
+// (CM-search, §4.3.2): for every shift variant and every vertical group,
+// the controller composes the matching query-pattern operand page,
+// transposes it, triggers the bop_add µ-program (bit-serial homomorphic
+// addition across all bitlines of the group's plane), reads the sums back,
+// and runs index generation against the query's match tokens. Only the hit
+// index leaves the drive.
+//
+// The query must carry match tokens (core.ModeSeededMatch).
+func (s *SSD) CMSearch(q *core.Query) (*core.IndexResult, error) {
+	if s.numChunks == 0 {
+		return nil, fmt.Errorf("ssd: no database in the CIPHERMATCH region")
+	}
+	if q.Tokens == nil {
+		return nil, fmt.Errorf("ssd: CM-search requires match tokens (core.ModeSeededMatch)")
+	}
+	if q.NumChunks != s.numChunks || q.DBBitLen != s.dbBitLen {
+		return nil, fmt.Errorf("ssd: query prepared for %d chunks/%d bits, stored %d chunks/%d bits",
+			q.NumChunks, q.DBBitLen, s.numChunks, s.dbBitLen)
+	}
+	n := s.params.N
+	ir := &core.IndexResult{Hits: make(core.HitBitmaps, len(q.Residues))}
+	numWindows := s.numChunks * n
+
+	// Pre-convert pattern components once per phase.
+	patterns := make(map[int][2][]uint32, len(q.Patterns))
+	for psi, ct := range q.Patterns {
+		patterns[psi] = [2][]uint32{polyToU32(ct.C[0]), polyToU32(ct.C[1])}
+		s.ctrl.HostBytesIn += int64(ct.SizeBytes(s.params))
+	}
+
+	for _, res := range q.Residues {
+		toks, ok := q.Tokens[res]
+		if !ok || len(toks) != s.numChunks {
+			return nil, fmt.Errorf("ssd: tokens missing or mis-sized for residue %d", res)
+		}
+		bm := make([]bool, numWindows)
+		for g := 0; g < s.numGroups(); g++ {
+			plane, block, wlBase, err := s.groupAddr(g)
+			if err != nil {
+				return nil, err
+			}
+			// Operand page: the pattern component matching each stored
+			// slot (chunk j component c gets pattern phase psi(j, res)).
+			operand := s.composeGroup(g, func(slot int) []uint32 {
+				j, c := slot/2, slot%2
+				if j >= s.numChunks {
+					return nil
+				}
+				psi := core.PatternPhase(n, j, res, q.YBits)
+				pc, ok := patterns[psi]
+				if !ok {
+					return nil
+				}
+				return pc[c]
+			})
+
+			// Controller: transpose operand to bit-planes (the software
+			// unit pipelines this under the flash reads; accounted here,
+			// discounted in the performance model).
+			bPlanes := make([][]uint64, flash.OperandBits)
+			for i := range bPlanes {
+				bPlanes[i] = make([]uint64, s.cfg.Geometry.PageWords())
+			}
+			mathutil.TransposeToBitPlanes(operand, bPlanes)
+			s.transpose()
+
+			// Flash: bop_add — bit-serial homomorphic addition across all
+			// bitlines of the group.
+			sumPlanes, err := s.planes[plane].BitSerialAddPlanes(block, wlBase, bPlanes)
+			if err != nil {
+				return nil, err
+			}
+			sums := make([]uint32, s.cfg.Geometry.PageBits())
+			mathutil.TransposeFromBitPlanes(sumPlanes, sums)
+			s.transpose()
+			// Count the ciphertext additions actually performed: occupied
+			// slots in this group, two slots (c0, c1) per chunk.
+			occupied := min((g+1)*s.lanesPerGroup, 2*s.numChunks) - g*s.lanesPerGroup
+			if occupied > 0 {
+				s.ctrl.HomAdds += occupied / 2
+			}
+
+			// Controller: index generation — compare each c0 lane against
+			// its chunk's match token.
+			for lane := 0; lane < s.lanesPerGroup; lane++ {
+				slot := g*s.lanesPerGroup + lane
+				j, c := slot/2, slot%2
+				if c != 0 || j >= s.numChunks {
+					continue
+				}
+				tok := toks[j]
+				base := j * n
+				laneSums := sums[lane*n : (lane+1)*n]
+				for i, v := range laneSums {
+					if uint64(v) == tok[i] {
+						bm[base+i] = true
+					}
+				}
+			}
+			s.ctrl.IndexGenPages++
+			s.ctrl.IndexGenTime += s.cfg.IndexGenLatency
+			s.ctrl.IndexGenEnergy += s.cfg.Energy.IndexGenPerPage
+		}
+		ir.Hits[res] = bm
+	}
+	ir.Candidates = core.Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
+	ir.Stats.HomAdds = s.ctrl.HomAdds
+	ir.Stats.CoeffCompares = int64(s.ctrl.IndexGenPages) * int64(s.cfg.Geometry.PageBits()/2)
+	s.ctrl.HostBytesOut += int64(len(ir.Candidates) * 8)
+	return ir, nil
+}

@@ -1,0 +1,244 @@
+package ssd
+
+import (
+	"fmt"
+	"time"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/flash"
+	"ciphermatch/internal/mathutil"
+	"ciphermatch/internal/ring"
+)
+
+// SSD is the CIPHERMATCH-enabled drive: an array of simulated planes plus
+// the controller state (FTL regions, transposition unit, index-generation
+// unit).
+type SSD struct {
+	cfg       Config
+	params    bfv.Params
+	transKind TranspositionKind
+
+	planes []*flash.Plane
+
+	// CIPHERMATCH region layout.
+	cmBlocks      int // blocks per plane reserved for the CM region
+	lanesPerGroup int // ciphertext components per vertical group
+	numChunks     int // chunks stored by CMWriteDatabase
+	dbBitLen      int
+
+	// Conventional-region flash translation layer (lazily created on the
+	// first conventional Read/Write).
+	ftl *ftl
+
+	ctrl ControllerStats
+}
+
+// ControllerStats accumulates controller-side work (the flash planes track
+// their own time/energy).
+type ControllerStats struct {
+	TransposePages int
+	TransposeTime  time.Duration
+	IndexGenPages  int
+	IndexGenTime   time.Duration
+	IndexGenEnergy float64
+	HostBytesIn    int64
+	HostBytesOut   int64
+	HomAdds        int
+}
+
+// New creates an SSD for the given BFV parameters. The parameters must use
+// q = 2^32 (the 32-bit vertical coefficient layout of §4.3.1) and n must
+// not exceed the page width in bits.
+func New(cfg Config, params bfv.Params, kind TranspositionKind) (*SSD, error) {
+	if params.Q != 1<<32 {
+		return nil, fmt.Errorf("ssd: CM-IFP requires q = 2^32 (32 wordlines per coefficient), got q = %d", params.Q)
+	}
+	if params.N > cfg.Geometry.PageBits() {
+		return nil, fmt.Errorf("ssd: ring degree %d exceeds page width %d bitlines", params.N, cfg.Geometry.PageBits())
+	}
+	if cfg.Geometry.WLsPerBlock() < flash.OperandBits {
+		return nil, fmt.Errorf("ssd: blocks need at least %d wordlines", flash.OperandBits)
+	}
+	s := &SSD{
+		cfg:           cfg,
+		params:        params,
+		transKind:     kind,
+		cmBlocks:      cfg.Geometry.BlocksPerPlane / 2, // half the drive, §4.3.2 region split
+		lanesPerGroup: cfg.Geometry.PageBits() / params.N,
+	}
+	total := cfg.Geometry.TotalPlanes()
+	s.planes = make([]*flash.Plane, total)
+	for i := range s.planes {
+		s.planes[i] = flash.NewPlane(cfg.Geometry, cfg.Timing, cfg.Energy)
+		for b := 0; b < s.cmBlocks; b++ {
+			if err := s.planes[i].SetBlockMode(b, flash.ModeSLCESP); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Config returns the SSD configuration.
+func (s *SSD) Config() Config { return s.cfg }
+
+// ControllerStats returns the controller-side statistics.
+func (s *SSD) ControllerStats() ControllerStats { return s.ctrl }
+
+// FlashStats returns the summed statistics of all planes.
+func (s *SSD) FlashStats() flash.Stats {
+	var total flash.Stats
+	for _, p := range s.planes {
+		total.Add(p.Stats())
+	}
+	return total
+}
+
+// MaxPlaneTime returns the largest per-plane busy time — the makespan of
+// the flash work under full array-level parallelism.
+func (s *SSD) MaxPlaneTime() time.Duration {
+	var m time.Duration
+	for _, p := range s.planes {
+		if t := p.Stats().Time; t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// groupsPerBlock returns how many 32-wordline vertical groups fit per block.
+func (s *SSD) groupsPerBlock() int {
+	return s.cfg.Geometry.WLsPerBlock() / flash.OperandBits
+}
+
+// groupAddr locates vertical group g: groups round-robin across planes
+// first (array-level parallelism), then fill blocks within a plane.
+func (s *SSD) groupAddr(g int) (plane, block, wlBase int, err error) {
+	numPlanes := len(s.planes)
+	plane = g % numPlanes
+	gp := g / numPlanes
+	block = gp / s.groupsPerBlock()
+	if block >= s.cmBlocks {
+		return 0, 0, 0, fmt.Errorf("ssd: CIPHERMATCH region full (group %d)", g)
+	}
+	wlBase = (gp % s.groupsPerBlock()) * flash.OperandBits
+	return plane, block, wlBase, nil
+}
+
+// slotAddr locates ciphertext component slot t: lane l of group g.
+// Chunk j's components occupy slots 2j (c0) and 2j+1 (c1).
+func (s *SSD) slotAddr(t int) (g, lane int) {
+	return t / s.lanesPerGroup, t % s.lanesPerGroup
+}
+
+// numGroups returns the number of vertical groups used by the stored
+// database.
+func (s *SSD) numGroups() int {
+	slots := 2 * s.numChunks
+	return (slots + s.lanesPerGroup - 1) / s.lanesPerGroup
+}
+
+// polyToU32 converts a mod-2^32 ring polynomial to its coefficient array.
+func polyToU32(p ring.Poly) []uint32 {
+	out := make([]uint32, len(p))
+	for i, c := range p {
+		out[i] = uint32(c)
+	}
+	return out
+}
+
+// u32ToPoly converts back.
+func u32ToPoly(c []uint32) ring.Poly {
+	out := make(ring.Poly, len(c))
+	for i, v := range c {
+		out[i] = uint64(v)
+	}
+	return out
+}
+
+// transpose charges one page transposition to the controller.
+func (s *SSD) transpose() {
+	s.ctrl.TransposePages++
+	s.ctrl.TransposeTime += s.cfg.TransposeLatency(s.transKind)
+}
+
+// composeGroup builds the page-width coefficient array of group g from a
+// per-slot fetch function (nil slices leave lanes zero).
+func (s *SSD) composeGroup(g int, fetch func(slot int) []uint32) []uint32 {
+	page := make([]uint32, s.cfg.Geometry.PageBits())
+	for lane := 0; lane < s.lanesPerGroup; lane++ {
+		slot := g*s.lanesPerGroup + lane
+		coeffs := fetch(slot)
+		if coeffs == nil {
+			continue
+		}
+		copy(page[lane*s.params.N:(lane+1)*s.params.N], coeffs)
+	}
+	return page
+}
+
+// CMWriteDatabase stores an encrypted database into the CIPHERMATCH region
+// in vertical layout (CM-write, §4.3.2): per group, the controller
+// composes the page-width coefficient stream, transposes it into 32
+// bit-planes, and programs 32 wordlines.
+func (s *SSD) CMWriteDatabase(db *core.EncryptedDB) error {
+	s.numChunks = len(db.Chunks)
+	s.dbBitLen = db.BitLen
+	fetch := func(slot int) []uint32 {
+		j, c := slot/2, slot%2
+		if j >= len(db.Chunks) {
+			return nil
+		}
+		s.ctrl.HostBytesIn += int64(s.params.N * s.params.QBytes())
+		return polyToU32(db.Chunks[j].C[c])
+	}
+	for g := 0; g < s.numGroups(); g++ {
+		plane, block, wlBase, err := s.groupAddr(g)
+		if err != nil {
+			return err
+		}
+		page := s.composeGroup(g, fetch)
+		planes := make([][]uint64, flash.OperandBits)
+		for i := range planes {
+			planes[i] = make([]uint64, s.cfg.Geometry.PageWords())
+		}
+		mathutil.TransposeToBitPlanes(page, planes)
+		s.transpose()
+		for i := 0; i < flash.OperandBits; i++ {
+			if err := s.planes[plane].ProgramPage(block, wlBase+i, planes[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CMReadChunk reconstructs chunk j's ciphertext from the vertical layout
+// (CM-read / page-fault path, §4.3.2): 32 flash reads per component plus a
+// reverse transposition in the controller. This is the long-latency read
+// the paper handles with OS huge-page support.
+func (s *SSD) CMReadChunk(j int) (*bfv.Ciphertext, error) {
+	if j < 0 || j >= s.numChunks {
+		return nil, fmt.Errorf("ssd: chunk %d out of range [0, %d)", j, s.numChunks)
+	}
+	ct := &bfv.Ciphertext{C: make([]ring.Poly, 2)}
+	for c := 0; c < 2; c++ {
+		g, lane := s.slotAddr(2*j + c)
+		plane, block, wlBase, err := s.groupAddr(g)
+		if err != nil {
+			return nil, err
+		}
+		full, err := s.planes[plane].ReadVertical(block, wlBase, s.cfg.Geometry.PageBits())
+		if err != nil {
+			return nil, err
+		}
+		s.transpose()
+		ct.C[c] = u32ToPoly(full[lane*s.params.N : (lane+1)*s.params.N])
+		s.ctrl.HostBytesOut += int64(s.params.N * s.params.QBytes())
+	}
+	return ct, nil
+}
+
+// StoredChunks returns the number of chunks in the CIPHERMATCH region.
+func (s *SSD) StoredChunks() int { return s.numChunks }

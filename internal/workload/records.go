@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"ciphermatch/internal/rng"
+)
+
+// Record is one key-value pair of the encrypted-database-search case study.
+type Record struct {
+	Key   string
+	Value string
+}
+
+// RecordLayout describes the fixed-width flattening of records into the
+// database bit stream: every record occupies KeyBytes+ValueBytes, so keys
+// start at known byte-aligned offsets and key queries need only
+// byte-aligned (AlignBits=8) search.
+type RecordLayout struct {
+	KeyBytes   int
+	ValueBytes int
+}
+
+// RecordBytes returns the stride of one record.
+func (l RecordLayout) RecordBytes() int { return l.KeyBytes + l.ValueBytes }
+
+// RandomRecords generates n records with printable random keys and values.
+func RandomRecords(n int, layout RecordLayout, src *rng.Source) []Record {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	randString := func(length int) string {
+		var b strings.Builder
+		for i := 0; i < length; i++ {
+			b.WriteByte(alphabet[src.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{
+			Key:   randString(layout.KeyBytes),
+			Value: randString(layout.ValueBytes),
+		}
+	}
+	return out
+}
+
+// Flatten serialises records into the fixed-width database byte stream.
+// Keys and values shorter than their field are zero-padded; longer ones
+// are an error.
+func Flatten(records []Record, layout RecordLayout) ([]byte, error) {
+	out := make([]byte, len(records)*layout.RecordBytes())
+	for i, r := range records {
+		if len(r.Key) > layout.KeyBytes {
+			return nil, fmt.Errorf("workload: record %d key %q exceeds %d bytes", i, r.Key, layout.KeyBytes)
+		}
+		if len(r.Value) > layout.ValueBytes {
+			return nil, fmt.Errorf("workload: record %d value exceeds %d bytes", i, layout.ValueBytes)
+		}
+		base := i * layout.RecordBytes()
+		copy(out[base:], r.Key)
+		copy(out[base+layout.KeyBytes:], r.Value)
+	}
+	return out, nil
+}
+
+// KeyQuery returns the query bytes and bit length for an exact key search.
+// The key is padded to the fixed key width, so a hit can only occur at a
+// record boundary.
+func KeyQuery(key string, layout RecordLayout) ([]byte, int, error) {
+	if len(key) > layout.KeyBytes {
+		return nil, 0, fmt.Errorf("workload: key %q exceeds %d bytes", key, layout.KeyBytes)
+	}
+	q := make([]byte, layout.KeyBytes)
+	copy(q, key)
+	return q, layout.KeyBytes * 8, nil
+}
+
+// RecordIndex converts a bit-offset candidate into the record number it
+// falls in, and whether it is exactly at a key boundary.
+func RecordIndex(bitOffset int, layout RecordLayout) (index int, atKeyStart bool) {
+	strideBits := layout.RecordBytes() * 8
+	return bitOffset / strideBits, bitOffset%strideBits == 0
+}
