@@ -285,6 +285,50 @@ func BenchmarkEndToEndSearchIFP(b *testing.B) {
 	}
 }
 
+// BenchmarkEngine runs one fixed workload (4 KiB database, 32-bit
+// query, byte alignment, seeded-match mode) through every execution
+// engine, so BENCH snapshots track the per-substrate trajectory the way
+// the paper compares CPU, PuM and flash on one algorithm.
+func BenchmarkEngine(b *testing.B) {
+	cfg := Config{Params: ParamsPaper(), AlignBits: 8, Mode: ModeSeededMatch}
+	client, err := NewClient(cfg, NewSeed("engine-bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	NewSeed("engine-bench-data").Bytes(data)
+	db, err := client.EncryptDatabase(data, len(data)*8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := client.PrepareQuery([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 32, len(data)*8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, specStr := range []string{"serial", "pool", "ssd", "pool/shards=2"} {
+		b.Run(specStr, func(b *testing.B) {
+			spec, err := ParseEngineSpec(specStr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := NewEngine(cfg.Params, db, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.SearchAndIndex(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if closer, ok := eng.(interface{ Close() error }); ok {
+				_ = closer.Close()
+			}
+		})
+	}
+}
+
 // --- ablation benchmarks (DESIGN.md §5) ---
 
 // BenchmarkAblationPolyMul compares the two negacyclic multiplication

@@ -36,6 +36,7 @@ package ciphermatch
 import (
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/core"
+	"ciphermatch/internal/engine"
 	"ciphermatch/internal/flash"
 	"ciphermatch/internal/perfmodel"
 	"ciphermatch/internal/pum"
@@ -68,6 +69,14 @@ type (
 	IndexMode = core.IndexMode
 	// HitBitmaps maps shift residues to window-hit bitmaps.
 	HitBitmaps = core.HitBitmaps
+
+	// Engine is the backend-agnostic execution interface: the serial CPU
+	// path, the worker-pool path, chunk-range sharded compositions and
+	// the in-flash simulator all satisfy it and return identical results.
+	Engine = core.Engine
+	// EngineSpec selects and parameterises an engine
+	// ("kind[:workers][/shards=N]"; see ParseEngineSpec).
+	EngineSpec = core.EngineSpec
 
 	// YasudaMatcher is the arithmetic baseline [27].
 	YasudaMatcher = core.YasudaMatcher
@@ -109,8 +118,40 @@ func NewRandomSeed() (*Seed, error) { return rng.NewRandomSource() }
 // NewClient creates a matcher client with fresh keys derived from seed.
 func NewClient(cfg Config, seed *Seed) (*Client, error) { return core.NewClient(cfg, seed) }
 
+// Engine kinds for EngineSpec / Config.Engine.
+const (
+	// EngineSerial executes searches on the calling goroutine.
+	EngineSerial = core.EngineSerial
+	// EnginePool fans (variant, chunk) batches across a persistent
+	// worker pool.
+	EnginePool = core.EnginePool
+	// EngineSSD executes CM-search inside the simulated in-flash drive.
+	EngineSSD = core.EngineSSD
+)
+
 // NewServer creates a matcher server over an encrypted database.
 func NewServer(p Params, db *EncryptedDB) *Server { return core.NewServer(p, db) }
+
+// NewServerWithEngine creates a matcher server whose SearchAndIndex
+// runs on the engine selected by cfg.Engine — the same search moved
+// between substrates, as the paper moves it between CPU, PuM and flash.
+func NewServerWithEngine(cfg Config, db *EncryptedDB) (*Server, error) {
+	eng, err := NewEngine(cfg.Params, db, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewServerWithEngine(cfg.Params, db, eng), nil
+}
+
+// NewEngine builds a standalone execution engine for an encrypted
+// database (serial, pool, ssd, each optionally chunk-range sharded).
+func NewEngine(p Params, db *EncryptedDB, spec EngineSpec) (Engine, error) {
+	return engine.Build(p, db, spec)
+}
+
+// ParseEngineSpec reads "kind[:workers][/shards=N]", e.g. "serial",
+// "pool:8" or "ssd/shards=4".
+func ParseEngineSpec(s string) (EngineSpec, error) { return engine.Parse(s) }
 
 // Candidates converts hit bitmaps into candidate occurrence offsets.
 func Candidates(hits HitBitmaps, dbBits, queryBits, alignBits int) []int {

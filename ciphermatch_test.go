@@ -61,6 +61,47 @@ func TestFacadeConstructors(t *testing.T) {
 	}
 }
 
+// TestEnginesThroughFacade moves one search across every substrate via
+// Config.Engine and checks the results agree.
+func TestEnginesThroughFacade(t *testing.T) {
+	data := append(bytes.Repeat([]byte("y"), 600), []byte("needle-in-haystack")...)
+	query := []byte("needle")
+	cfg := Config{Params: ParamsPaper(), AlignBits: 8, Mode: ModeSeededMatch}
+	client, err := NewClient(cfg, NewSeed("facade-engines"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbBits := len(data) * 8
+	db, err := client.EncryptDatabase(data, dbBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.PrepareQuery(query, 48, dbBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, specStr := range []string{"serial", "pool:4", "ssd"} {
+		if cfg.Engine, err = ParseEngineSpec(specStr); err != nil {
+			t.Fatal(err)
+		}
+		server, err := NewServerWithEngine(cfg, db)
+		if err != nil {
+			t.Fatalf("%s: %v", specStr, err)
+		}
+		ir, err := server.SearchAndIndex(q)
+		if err != nil {
+			t.Fatalf("%s: %v", specStr, err)
+		}
+		verified := VerifyCandidates(data, dbBits, query, 48, ir.Candidates)
+		if len(verified) != 1 || verified[0] != 600*8 {
+			t.Fatalf("%s: verified = %v, want [4800]", specStr, verified)
+		}
+		if got := server.Engine().Stats().HomAdds; got != ir.Stats.HomAdds || got == 0 {
+			t.Fatalf("%s: engine stats %d != call stats %d", specStr, got, ir.Stats.HomAdds)
+		}
+	}
+}
+
 func TestClientServerRoundtripPaperParams(t *testing.T) {
 	cfg := Config{Params: ParamsPaper(), AlignBits: 8, Mode: ModeClientDecrypt}
 	client, err := NewClient(cfg, NewSeed("paper-params"))

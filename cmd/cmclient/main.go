@@ -1,10 +1,15 @@
 // Command cmclient is the data-owner side of the networked CIPHERMATCH
 // deployment: it encrypts a local file, uploads the ciphertexts to a
-// cmserver, and issues encrypted searches, receiving only match indices.
+// named database on a cmserver, and issues encrypted searches,
+// receiving only match indices. It can also list and drop the server's
+// databases.
 //
 // Usage:
 //
-//	cmclient -addr localhost:7448 -db corpus.txt -query "needle"
+//	cmclient -addr localhost:7448 -name corpus -db corpus.txt -query "needle"
+//	cmclient -name corpus -engine pool:8 -db corpus.txt -query "needle"
+//	cmclient -list
+//	cmclient -drop corpus
 package main
 
 import (
@@ -18,26 +23,63 @@ import (
 
 func main() {
 	addr := flag.String("addr", "localhost:7448", "cmserver address")
-	dbPath := flag.String("db", "", "file to upload and search (required)")
-	queryStr := flag.String("query", "", "query string (required)")
+	name := flag.String("name", "default", "server-side database name")
+	dbPath := flag.String("db", "", "file to upload and search")
+	queryStr := flag.String("query", "", "query string")
 	align := flag.Int("align", 8, "occurrence alignment in bits")
 	seed := flag.String("seed", "cmclient-default-seed", "client key/randomness seed label")
+	engineSpec := flag.String("engine", "", "server-side engine for this database, kind[:workers][/shards=N] (empty = server default)")
+	list := flag.Bool("list", false, "list the server's databases and exit")
+	drop := flag.String("drop", "", "drop the named server-side database and exit")
 	flag.Parse()
-
-	if *dbPath == "" || *queryStr == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-	data, err := os.ReadFile(*dbPath)
-	if err != nil {
-		fatal(err)
-	}
 
 	cfg := ciphermatch.Config{
 		Params:    ciphermatch.ParamsPaper(),
 		AlignBits: *align,
 		Mode:      ciphermatch.ModeSeededMatch,
 	}
+	conn, err := proto.Dial(*addr, cfg.Params)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+
+	switch {
+	case *list:
+		infos, err := conn.ListDBs()
+		if err != nil {
+			fatal(err)
+		}
+		if len(infos) == 0 {
+			fmt.Println("no databases")
+			return
+		}
+		for _, in := range infos {
+			fmt.Printf("%-24s %8d chunks %12d bits %6d searches  engine %s\n",
+				in.Name, in.Chunks, in.BitLen, in.Searches, in.Engine)
+		}
+		return
+	case *drop != "":
+		if err := conn.DropDB(*drop); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dropped %s\n", *drop)
+		return
+	}
+
+	if *dbPath == "" || *queryStr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := ciphermatch.ParseEngineSpec(*engineSpec)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+
 	client, err := ciphermatch.NewClient(cfg, ciphermatch.NewSeed(*seed))
 	if err != nil {
 		fatal(err)
@@ -48,22 +90,17 @@ func main() {
 		fatal(err)
 	}
 
-	conn, err := proto.Dial(*addr, cfg.Params)
-	if err != nil {
-		fatal(err)
-	}
-	defer conn.Close()
-	if err := conn.UploadDB(db); err != nil {
+	if err := conn.UploadDB(*name, spec, db); err != nil {
 		fatal(fmt.Errorf("uploading database: %w", err))
 	}
-	fmt.Printf("uploaded %d encrypted chunks (%d bytes)\n", len(db.Chunks), db.SizeBytes(cfg.Params))
+	fmt.Printf("uploaded %q: %d encrypted chunks (%d bytes)\n", *name, len(db.Chunks), db.SizeBytes(cfg.Params))
 
 	query := []byte(*queryStr)
 	q, err := client.PrepareQuery(query, len(query)*8, dbBits)
 	if err != nil {
 		fatal(err)
 	}
-	candidates, err := conn.Search(q)
+	candidates, err := conn.Search(*name, q)
 	if err != nil {
 		fatal(fmt.Errorf("remote search: %w", err))
 	}

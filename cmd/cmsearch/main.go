@@ -25,6 +25,7 @@ func main() {
 	align := flag.Int("align", 8, "occurrence alignment in bits (8 = byte boundaries)")
 	seed := flag.String("seed", "cmsearch-default-seed", "client key/randomness seed label")
 	verify := flag.Bool("verify", true, "verify candidates against the plaintext")
+	engineSpec := flag.String("engine", "serial", "execution engine: kind[:workers][/shards=N], kind one of serial|pool|ssd")
 	flag.Parse()
 
 	if *dbPath == "" || (*queryStr == "" && *queryHex == "") {
@@ -47,6 +48,9 @@ func main() {
 		AlignBits: *align,
 		Mode:      ciphermatch.ModeSeededMatch,
 	}
+	if cfg.Engine, err = ciphermatch.ParseEngineSpec(*engineSpec); err != nil {
+		fatal(err)
+	}
 	client, err := ciphermatch.NewClient(cfg, ciphermatch.NewSeed(*seed))
 	if err != nil {
 		fatal(err)
@@ -56,7 +60,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	server := ciphermatch.NewServer(cfg.Params, db)
+	server, err := ciphermatch.NewServerWithEngine(cfg, db)
+	if err != nil {
+		fatal(err)
+	}
 	q, err := client.PrepareQuery(query, len(query)*8, dbBits)
 	if err != nil {
 		fatal(err)
@@ -68,8 +75,8 @@ func main() {
 
 	fmt.Printf("database: %d bytes in %d encrypted chunks (%d bytes encrypted)\n",
 		len(data), len(db.Chunks), db.SizeBytes(cfg.Params))
-	fmt.Printf("query: %d bits, %d shift variants, %d homomorphic additions\n",
-		len(query)*8, len(q.Residues), result.Stats.HomAdds)
+	fmt.Printf("query: %d bits, %d shift variants, %d homomorphic additions (engine %s)\n",
+		len(query)*8, len(q.Residues), result.Stats.HomAdds, server.Engine().Describe())
 
 	offsets := result.Candidates
 	label := "candidate"

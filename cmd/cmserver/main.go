@@ -1,11 +1,14 @@
-// Command cmserver runs a CIPHERMATCH search server: it accepts an
-// encrypted database upload and answers encrypted queries with match
-// indices, never holding any key material (§2.2's two-round HE exchange;
-// Algorithm 1 server side).
+// Command cmserver runs a CIPHERMATCH search server: a multi-tenant
+// store of named encrypted databases answering encrypted queries with
+// match indices, never holding any key material (§2.2's two-round HE
+// exchange; Algorithm 1 server side). Each database runs on an
+// execution engine — serial CPU, persistent worker pool, or the
+// simulated in-flash drive — selected per upload or defaulted here.
 //
 // Usage:
 //
-//	cmserver -addr :7448
+//	cmserver -addr :7448 -engine pool -workers 8
+//	cmserver -engine ssd/shards=4
 package main
 
 import (
@@ -13,23 +16,42 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 
 	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/engine"
 	"ciphermatch/internal/proto"
 )
 
 func main() {
 	addr := flag.String("addr", ":7448", "listen address")
+	engineSpec := flag.String("engine", "serial",
+		"default engine for uploads that do not request one: kind[:workers][/shards=N], kind one of "+
+			strings.Join(engine.Kinds(), "|"))
+	workers := flag.Int("workers", 0, "default pool worker count (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "default chunk-range shard count (0/1 = unsharded)")
 	flag.Parse()
+
+	spec, err := engine.Parse(*engineSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmserver:", err)
+		os.Exit(2)
+	}
+	if *workers > 0 {
+		spec.Workers = *workers
+	}
+	if *shards > 1 {
+		spec.Shards = *shards
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cmserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("cmserver: listening on %s (BFV n=%d, log2 q=32, log2 t=16)\n",
-		l.Addr(), bfv.ParamsPaper().N)
-	srv := proto.NewServer(bfv.ParamsPaper())
+	fmt.Printf("cmserver: listening on %s (BFV n=%d, log2 q=32, log2 t=16, default engine %s)\n",
+		l.Addr(), bfv.ParamsPaper().N, spec)
+	srv := proto.NewServerWithSpec(bfv.ParamsPaper(), spec)
 	if err := srv.Serve(l); err != nil {
 		fmt.Fprintln(os.Stderr, "cmserver:", err)
 		os.Exit(1)

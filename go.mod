@@ -1,0 +1,3 @@
+module ciphermatch
+
+go 1.24

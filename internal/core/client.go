@@ -39,6 +39,10 @@ type Config struct {
 	AlignBits int
 	// Mode selects the index-generation mode. Default ModeClientDecrypt.
 	Mode IndexMode
+	// Engine selects the execution engine for servers built over this
+	// configuration (NewServerWithEngine and the ciphermatch facade).
+	// The zero value is the serial CPU engine. Clients ignore it.
+	Engine EngineSpec
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +168,11 @@ type Query struct {
 	// Tokens[s][j] is the expected hit value of the first result component
 	// for variant residue s and chunk j (ModeSeededMatch only).
 	Tokens map[int][]ring.Poly
+	// HitsOnly suppresses candidate generation in the engines, which
+	// then return hit bitmaps only. Set by ShardedEngine on per-shard
+	// sub-queries (candidates are generated once over the merged
+	// bitmaps); never serialized on the wire.
+	HitsOnly bool
 }
 
 // SizeBytes returns the total bytes the client ships to the server for this

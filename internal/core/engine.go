@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/ring"
+)
+
+// Engine is the backend-agnostic execution interface for secure search
+// with server-side index generation (ModeSeededMatch). CIPHERMATCH's
+// central claim is that the same addition-only algorithm runs on three
+// substrates — CPU, processing-using-memory, and in-flash processing —
+// and Engine is the seam that makes the substrates interchangeable: the
+// serial CPU path (SerialEngine), the worker-pool CPU path (PoolEngine),
+// the chunk-range composition (ShardedEngine) and the in-flash simulator
+// (internal/ssd.Engine) all satisfy it and return identical results on
+// identical inputs (see internal/engine's conformance test).
+//
+// Implementations must be safe for concurrent SearchAndIndex calls; the
+// proto server issues them under a read lock.
+type Engine interface {
+	// SearchAndIndex executes Algorithm 1 line 10 plus index generation
+	// and returns the per-variant hit bitmaps and candidate offsets. The
+	// query must carry match tokens (ModeSeededMatch).
+	SearchAndIndex(q *Query) (*IndexResult, error)
+	// Stats returns the cumulative operation counts of every search this
+	// engine has executed.
+	Stats() Stats
+	// Describe returns a short human-readable engine description, e.g.
+	// "serial" or "pool(8 workers)".
+	Describe() string
+}
+
+// Engine kind names used by EngineSpec and the CLI flags.
+const (
+	EngineSerial = "serial"
+	EnginePool   = "pool"
+	EngineSSD    = "ssd"
+)
+
+// EngineSpec selects and parameterises an execution engine. The zero
+// value means "serial, unsharded".
+type EngineSpec struct {
+	// Kind is one of EngineSerial, EnginePool, EngineSSD ("" = serial).
+	// The SSD kind is only constructible where the in-flash simulator is
+	// linked in (internal/engine, the ciphermatch facade, the proto
+	// server); core's NewEngine rejects it.
+	Kind string
+	// Workers is the pool size for EnginePool (0 = GOMAXPROCS).
+	Workers int
+	// Shards > 1 splits the database into that many chunk ranges, each
+	// searched by its own engine of the selected Kind (chunk-range
+	// sharding; see ShardedEngine).
+	Shards int
+}
+
+// String renders the spec in the form accepted by internal/engine.Parse.
+func (s EngineSpec) String() string {
+	kind := s.Kind
+	if kind == "" {
+		kind = EngineSerial
+	}
+	out := kind
+	if kind == EnginePool && s.Workers > 0 {
+		out = fmt.Sprintf("%s:%d", kind, s.Workers)
+	}
+	if s.Shards > 1 {
+		out = fmt.Sprintf("%s/shards=%d", out, s.Shards)
+	}
+	return out
+}
+
+// NewEngine builds a CPU engine (serial or pool, optionally sharded) for
+// an encrypted database. The SSD kind lives behind internal/engine (or
+// the ciphermatch facade) because internal/ssd depends on this package.
+func NewEngine(params bfv.Params, db *EncryptedDB, spec EngineSpec) (Engine, error) {
+	var base func(int, *EncryptedDB) (Engine, error)
+	switch spec.Kind {
+	case "", EngineSerial:
+		base = func(_ int, sub *EncryptedDB) (Engine, error) {
+			return NewSerialEngine(params, sub), nil
+		}
+	case EnginePool:
+		base = func(_ int, sub *EncryptedDB) (Engine, error) {
+			return NewPoolEngine(params, sub, spec.Workers), nil
+		}
+	case EngineSSD:
+		return nil, fmt.Errorf("core: the %q engine requires the in-flash simulator; build it via internal/engine or the ciphermatch facade", spec.Kind)
+	default:
+		return nil, fmt.Errorf("core: unknown engine kind %q", spec.Kind)
+	}
+	if spec.Shards > 1 {
+		return NewShardedEngine(params, db, spec.Shards, base)
+	}
+	return base(0, db)
+}
+
+// validateSearchQuery is the shared request validation of every engine:
+// shape agreement between query and database, plus the match tokens the
+// server-side index generation needs.
+func validateSearchQuery(db *EncryptedDB, q *Query, needTokens bool) error {
+	if q.YBits < 1 {
+		return fmt.Errorf("core: query has invalid length %d", q.YBits)
+	}
+	if q.NumChunks != len(db.Chunks) {
+		return fmt.Errorf("core: query prepared for %d chunks, database has %d",
+			q.NumChunks, len(db.Chunks))
+	}
+	if q.DBBitLen != db.BitLen {
+		return fmt.Errorf("core: query prepared for %d-bit database, have %d bits",
+			q.DBBitLen, db.BitLen)
+	}
+	if needTokens && q.Tokens == nil {
+		return errNoTokens
+	}
+	if needTokens {
+		for _, res := range q.Residues {
+			if toks, ok := q.Tokens[res]; !ok || len(toks) != len(db.Chunks) {
+				return errBadTokens(res)
+			}
+		}
+	}
+	return nil
+}
+
+// newScratch allocates the 2-component ciphertext an engine worker adds
+// into (bfv.Evaluator.AddInto), so the hot loop never allocates.
+func newScratch(params bfv.Params) *bfv.Ciphertext {
+	r := params.Ring()
+	return &bfv.Ciphertext{C: []ring.Poly{r.NewPoly(), r.NewPoly()}}
+}
+
+// searchChunkRange is the shared CPU kernel: for one shift variant it
+// executes the homomorphic additions and index generation over chunks
+// [lo, hi) of db, setting hit bits in bm (global window indexing). All
+// CPU engines — serial, pool, sharded — are schedules over this kernel,
+// mirroring how the paper maps one algorithm onto different substrates.
+func searchChunkRange(ev *bfv.Evaluator, scratch *bfv.Ciphertext, db *EncryptedDB, q *Query, res, lo, hi int, bm []bool) (Stats, error) {
+	var st Stats
+	n := ev.Params().N
+	toks := q.Tokens[res]
+	for j := lo; j < hi; j++ {
+		psi := PatternPhase(n, j, res, q.YBits)
+		pattern, ok := q.Patterns[psi]
+		if !ok {
+			return st, errMissingPhase(psi)
+		}
+		sum := scratch
+		if err := ev.AddInto(db.Chunks[j], pattern, sum); err != nil {
+			return st, err
+		}
+		st.HomAdds++
+		// Index generation: compare the first component against the
+		// expected hit value coefficient by coefficient.
+		tok := toks[j]
+		base := j * n
+		for i, v := range sum.C[0] {
+			if v == tok[i] {
+				bm[base+i] = true
+			}
+		}
+		st.CoeffCompares += int64(n)
+	}
+	return st, nil
+}
+
+// add folds another stats sample into s.
+func (s *Stats) add(o Stats) {
+	s.HomAdds += o.HomAdds
+	s.CoeffCompares += o.CoeffCompares
+	s.ResultBytes += o.ResultBytes
+}
+
+// statCounter is the embeddable cumulative-stats half of Engine.
+type statCounter struct {
+	mu  sync.Mutex
+	cum Stats
+}
+
+func (c *statCounter) record(st Stats) {
+	c.mu.Lock()
+	c.cum.add(st)
+	c.mu.Unlock()
+}
+
+func (c *statCounter) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cum
+}
+
+// SerialEngine executes searches on the calling goroutine — the paper's
+// CPU baseline. It is stateless between calls (the evaluator is shared
+// and read-only, scratch is per call), so concurrent searches are safe.
+type SerialEngine struct {
+	params bfv.Params
+	ev     *bfv.Evaluator
+	db     *EncryptedDB
+	statCounter
+}
+
+var _ Engine = (*SerialEngine)(nil)
+
+// NewSerialEngine creates a serial engine over an encrypted database.
+func NewSerialEngine(params bfv.Params, db *EncryptedDB) *SerialEngine {
+	return &SerialEngine{params: params, ev: bfv.NewEvaluator(params), db: db}
+}
+
+// SearchAndIndex implements Engine.
+func (e *SerialEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
+	if err := validateSearchQuery(e.db, q, true); err != nil {
+		return nil, err
+	}
+	n := e.params.N
+	numWindows := len(e.db.Chunks) * n
+	scratch := newScratch(e.params)
+	ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues))}
+	for _, res := range q.Residues {
+		bm := make([]bool, numWindows)
+		st, err := searchChunkRange(e.ev, scratch, e.db, q, res, 0, len(e.db.Chunks), bm)
+		if err != nil {
+			return nil, err
+		}
+		ir.Stats.add(st)
+		ir.Hits[res] = bm
+	}
+	if !q.HitsOnly {
+		ir.Candidates = Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
+	}
+	e.record(ir.Stats)
+	return ir, nil
+}
+
+// Describe implements Engine.
+func (e *SerialEngine) Describe() string { return EngineSerial }

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/rng"
+)
+
+// engineFixture builds a client, an encrypted database with planted
+// occurrences, and a seeded-match query over it.
+func engineFixture(t *testing.T) (Config, *EncryptedDB, *Query, *IndexResult) {
+	t.Helper()
+	cfg := Config{Params: bfv.ParamsToy(), AlignBits: 8, Mode: ModeSeededMatch}
+	client, err := NewClient(cfg, rng.NewSourceFromString("engine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := make([]byte, 384) // 3 chunks at toy n=64
+	rng.NewSourceFromString("engine-data").Bytes(db)
+	query := []byte{0xAB, 0xCD, 0xEF}
+	plantQuery(db, query, 24, 48)
+	plantQuery(db, query, 24, 1016) // spans the chunk-0/chunk-1 boundary
+	plantQuery(db, query, 24, 2000)
+
+	edb, err := client.EncryptDatabase(db, 3072)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.PrepareQuery(query, 24, 3072)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewSerialEngine(cfg.Params, edb).SearchAndIndex(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Candidates) == 0 {
+		t.Fatal("serial engine found nothing; fixture is vacuous")
+	}
+	return cfg, edb, q, serial
+}
+
+// assertSameResult checks that two index results agree bit for bit.
+func assertSameResult(t *testing.T, label string, got, want *IndexResult) {
+	t.Helper()
+	if !intsEqual(got.Candidates, want.Candidates) {
+		t.Fatalf("%s: candidates %v != %v", label, got.Candidates, want.Candidates)
+	}
+	if got.Stats.HomAdds != want.Stats.HomAdds {
+		t.Fatalf("%s: HomAdds %d != %d", label, got.Stats.HomAdds, want.Stats.HomAdds)
+	}
+	if len(got.Hits) != len(want.Hits) {
+		t.Fatalf("%s: %d hit bitmaps != %d", label, len(got.Hits), len(want.Hits))
+	}
+	for res, bm := range want.Hits {
+		gbm := got.Hits[res]
+		if len(gbm) != len(bm) {
+			t.Fatalf("%s: residue %d bitmap length %d != %d", label, res, len(gbm), len(bm))
+		}
+		for w := range bm {
+			if bm[w] != gbm[w] {
+				t.Fatalf("%s: residue %d window %d differs", label, res, w)
+			}
+		}
+	}
+}
+
+func TestPoolEngineMatchesSerial(t *testing.T) {
+	cfg, edb, q, serial := engineFixture(t)
+	for _, workers := range []int{1, 2, 4, 0} { // 0 = GOMAXPROCS
+		pool := NewPoolEngine(cfg.Params, edb, workers)
+		ir, err := pool.SearchAndIndex(q)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertSameResult(t, pool.Describe(), ir, serial)
+		if err := pool.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestShardedEngineMatchesSerial(t *testing.T) {
+	cfg, edb, q, serial := engineFixture(t)
+	for _, spec := range []EngineSpec{
+		{Kind: EngineSerial, Shards: 2},
+		{Kind: EngineSerial, Shards: 3},
+		{Kind: EngineSerial, Shards: 16}, // clamped to the chunk count
+		{Kind: EnginePool, Workers: 2, Shards: 2},
+	} {
+		eng, err := NewEngine(cfg.Params, edb, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		ir, err := eng.SearchAndIndex(q)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Describe(), err)
+		}
+		assertSameResult(t, eng.Describe(), ir, serial)
+		if c, ok := eng.(*ShardedEngine); ok {
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestPoolEngineConcurrentSearches drives one persistent pool from many
+// goroutines at once — the proto server's per-database concurrency —
+// and is the -race target for the worker pool.
+func TestPoolEngineConcurrentSearches(t *testing.T) {
+	cfg, edb, q, serial := engineFixture(t)
+	pool := NewPoolEngine(cfg.Params, edb, 4)
+	defer pool.Close() //nolint:errcheck
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	results := make([]*IndexResult, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = pool.SearchAndIndex(q)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		assertSameResult(t, "concurrent", results[i], serial)
+	}
+	if got := pool.Stats().HomAdds; got != callers*serial.Stats.HomAdds {
+		t.Fatalf("cumulative HomAdds = %d, want %d", got, callers*serial.Stats.HomAdds)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	cfg := Config{Params: bfv.ParamsToy(), Mode: ModeClientDecrypt}
+	client, _ := NewClient(cfg, rng.NewSourceFromString("ev"))
+	db := make([]byte, 128)
+	edb, _ := client.EncryptDatabase(db, 1024)
+	q, _ := client.PrepareQuery([]byte{0x11, 0x22}, 16, 1024) // no tokens
+	for _, eng := range []Engine{
+		NewSerialEngine(cfg.Params, edb),
+		NewPoolEngine(cfg.Params, edb, 2),
+	} {
+		if _, err := eng.SearchAndIndex(q); err == nil {
+			t.Errorf("%s: accepted tokenless query", eng.Describe())
+		}
+	}
+}
+
+func TestPoolEngineClosedRejectsSearches(t *testing.T) {
+	cfg, edb, q, _ := engineFixture(t)
+	pool := NewPoolEngine(cfg.Params, edb, 2)
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := pool.SearchAndIndex(q); err == nil {
+		t.Fatal("closed pool accepted a search")
+	}
+}
+
+func TestNewEngineSpec(t *testing.T) {
+	cfg, edb, _, _ := engineFixture(t)
+	if _, err := NewEngine(cfg.Params, edb, EngineSpec{Kind: "warp-drive"}); err == nil {
+		t.Error("unknown engine kind accepted")
+	}
+	if _, err := NewEngine(cfg.Params, edb, EngineSpec{Kind: EngineSSD}); err == nil {
+		t.Error("core built an SSD engine without the simulator")
+	}
+	eng, err := NewEngine(cfg.Params, edb, EngineSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Describe() != EngineSerial {
+		t.Errorf("zero spec built %q, want serial", eng.Describe())
+	}
+	if got := (EngineSpec{Kind: EnginePool, Workers: 8, Shards: 2}).String(); got != "pool:8/shards=2" {
+		t.Errorf("spec string = %q", got)
+	}
+}

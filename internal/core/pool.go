@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ciphermatch/internal/bfv"
+)
+
+// PoolEngine fans the (variant, chunk) work of a search out across a
+// persistent pool of workers. Homomorphic additions are embarrassingly
+// parallel — the coefficient-wise independence the paper exploits with
+// SIMD on CPUs and with array-level parallelism in flash — so the search
+// scales with cores until memory bandwidth saturates.
+//
+// Unlike a per-call goroutine fan-out, the workers live for the lifetime
+// of the engine: each owns its evaluator and scratch ciphertext, and
+// calls only pay for enqueueing batched chunk ranges. Concurrent
+// SearchAndIndex calls share the pool fairly (their batches interleave
+// on the same queue).
+type PoolEngine struct {
+	params  bfv.Params
+	db      *EncryptedDB
+	workers int
+
+	jobs      chan poolBatch
+	wg        sync.WaitGroup
+	closeMu   sync.RWMutex // guards closed and the enqueue/close race
+	closed    bool
+	closeOnce sync.Once
+
+	statCounter
+}
+
+var _ Engine = (*PoolEngine)(nil)
+
+// poolCall is the shared state of one SearchAndIndex invocation.
+type poolCall struct {
+	q       *Query
+	db      *EncryptedDB
+	bitmaps [][]bool // per variant index, global window indexing
+	pending sync.WaitGroup
+
+	mu       sync.Mutex
+	firstErr error
+	stats    Stats
+}
+
+// poolBatch is one unit of queued work: chunks [lo, hi) of one variant.
+type poolBatch struct {
+	call    *poolCall
+	variant int // index into q.Residues
+	lo, hi  int
+}
+
+// NewPoolEngine creates a pool engine with the given number of workers
+// (0 = GOMAXPROCS) and starts them.
+func NewPoolEngine(params bfv.Params, db *EncryptedDB, workers int) *PoolEngine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &PoolEngine{
+		params:  params,
+		db:      db,
+		workers: workers,
+		jobs:    make(chan poolBatch, 4*workers),
+	}
+	for w := 0; w < workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// worker drains the batch queue until Close. Each worker owns its
+// evaluator and scratch ciphertext, so the hot loop never allocates and
+// never contends.
+func (e *PoolEngine) worker() {
+	defer e.wg.Done()
+	ev := bfv.NewEvaluator(e.params)
+	scratch := newScratch(e.params)
+	for b := range e.jobs {
+		c := b.call
+		res := c.q.Residues[b.variant]
+		st, err := searchChunkRange(ev, scratch, c.db, c.q, res, b.lo, b.hi, c.bitmaps[b.variant])
+		c.mu.Lock()
+		if err != nil && c.firstErr == nil {
+			c.firstErr = err
+		}
+		c.stats.add(st)
+		c.mu.Unlock()
+		c.pending.Done()
+	}
+}
+
+// batchSize picks the chunk-range granularity: enough batches to keep
+// every worker busy (~4 per worker) without degenerating to one chunk
+// per batch on large databases.
+func (e *PoolEngine) batchSize(numChunks, numVariants int) int {
+	total := numChunks * numVariants
+	per := total / (4 * e.workers)
+	if per < 1 {
+		per = 1
+	}
+	if per > numChunks {
+		per = numChunks
+	}
+	return per
+}
+
+// SearchAndIndex implements Engine.
+func (e *PoolEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
+	if err := validateSearchQuery(e.db, q, true); err != nil {
+		return nil, err
+	}
+	numChunks := len(e.db.Chunks)
+	numWindows := numChunks * e.params.N
+	c := &poolCall{q: q, db: e.db, bitmaps: make([][]bool, len(q.Residues))}
+	for vi := range c.bitmaps {
+		c.bitmaps[vi] = make([]bool, numWindows)
+	}
+	batch := e.batchSize(numChunks, len(q.Residues))
+	// Enqueue under the read half of closeMu: Close excludes itself with
+	// the write half, so sends can never hit a closed channel. Workers
+	// keep draining while this lock is held, so sends always progress.
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return nil, fmt.Errorf("core: pool engine is closed")
+	}
+	for vi := range q.Residues {
+		for lo := 0; lo < numChunks; lo += batch {
+			hi := lo + batch
+			if hi > numChunks {
+				hi = numChunks
+			}
+			c.pending.Add(1)
+			e.jobs <- poolBatch{call: c, variant: vi, lo: lo, hi: hi}
+		}
+	}
+	e.closeMu.RUnlock()
+	c.pending.Wait()
+	if c.firstErr != nil {
+		return nil, c.firstErr
+	}
+
+	ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues)), Stats: c.stats}
+	for vi, res := range q.Residues {
+		ir.Hits[res] = c.bitmaps[vi]
+	}
+	if !q.HitsOnly {
+		ir.Candidates = Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
+	}
+	e.record(ir.Stats)
+	return ir, nil
+}
+
+// Describe implements Engine.
+func (e *PoolEngine) Describe() string {
+	return fmt.Sprintf("pool(%d workers)", e.workers)
+}
+
+// Close shuts the workers down. Searches already in flight complete;
+// later calls fail. Close is safe against concurrent SearchAndIndex.
+func (e *PoolEngine) Close() error {
+	e.closeOnce.Do(func() {
+		e.closeMu.Lock()
+		e.closed = true
+		close(e.jobs)
+		e.closeMu.Unlock()
+	})
+	e.wg.Wait()
+	return nil
+}

@@ -8,8 +8,7 @@ import (
 	"ciphermatch/internal/ring"
 )
 
-// Shared error constructors (used by the serial and parallel search
-// paths).
+// Shared error constructors (used by every engine).
 var errNoTokens = errors.New("core: search requires match tokens (ModeSeededMatch)")
 
 func errMissingPhase(psi int) error {
@@ -34,21 +33,35 @@ type Stats struct {
 }
 
 // Server holds the encrypted database and executes secure string search
-// (Algorithm 1, lines 10-12). It never sees the secret key.
+// (Algorithm 1, lines 10-12). It never sees the secret key. Index
+// generation (SearchAndIndex) is delegated to an Engine; NewServer wires
+// in the serial CPU engine, NewServerWithEngine accepts any substrate.
 type Server struct {
 	params bfv.Params
 	ev     *bfv.Evaluator
 	ring   *ring.Ring
 	db     *EncryptedDB
+	engine Engine
 }
 
-// NewServer creates a server over an encrypted database.
+// NewServer creates a server over an encrypted database with the serial
+// CPU engine.
 func NewServer(params bfv.Params, db *EncryptedDB) *Server {
-	return &Server{params: params, ev: bfv.NewEvaluator(params), ring: params.Ring(), db: db}
+	return NewServerWithEngine(params, db, NewSerialEngine(params, db))
+}
+
+// NewServerWithEngine creates a server whose SearchAndIndex executes on
+// the given engine (serial, pool, sharded, or the in-flash simulator).
+// The engine must have been built over the same database.
+func NewServerWithEngine(params bfv.Params, db *EncryptedDB, e Engine) *Server {
+	return &Server{params: params, ev: bfv.NewEvaluator(params), ring: params.Ring(), db: db, engine: e}
 }
 
 // DB returns the stored encrypted database.
 func (s *Server) DB() *EncryptedDB { return s.db }
+
+// Engine returns the execution engine behind SearchAndIndex.
+func (s *Server) Engine() Engine { return s.engine }
 
 // SearchResult holds one result ciphertext per (variant, chunk), in the
 // order of Query.Residues (ModeClientDecrypt).
@@ -58,7 +71,9 @@ type SearchResult struct {
 }
 
 // Search performs the homomorphic additions of Algorithm 1 line 10 and
-// returns the result ciphertexts for client-side index generation.
+// returns the result ciphertexts for client-side index generation. This
+// path ships ciphertexts back to the client, so it always runs on the
+// CPU regardless of the configured engine.
 func (s *Server) Search(q *Query) (*SearchResult, error) {
 	if err := s.checkQuery(q); err != nil {
 		return nil, err
@@ -71,7 +86,7 @@ func (s *Server) Search(q *Query) (*SearchResult, error) {
 			psi := PatternPhase(n, j, res, q.YBits)
 			pattern, ok := q.Patterns[psi]
 			if !ok {
-				return nil, fmt.Errorf("core: query missing pattern phase %d", psi)
+				return nil, errMissingPhase(psi)
 			}
 			sum := s.ev.Add(chunk, pattern)
 			row[j] = sum
@@ -95,59 +110,12 @@ type IndexResult struct {
 // SearchAndIndex performs the homomorphic additions and then generates the
 // match index on the server by comparing each result's first component
 // against the query's match tokens ("encrypted match polynomial", §4.2.2).
-// Only the hit pattern leaves the server, not the result ciphertexts.
+// Only the hit pattern leaves the server, not the result ciphertexts. The
+// work executes on the server's engine.
 func (s *Server) SearchAndIndex(q *Query) (*IndexResult, error) {
-	if err := s.checkQuery(q); err != nil {
-		return nil, err
-	}
-	if q.Tokens == nil {
-		return nil, fmt.Errorf("core: SearchAndIndex requires match tokens (ModeSeededMatch)")
-	}
-	n := s.params.N
-	ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues))}
-	numWindows := len(s.db.Chunks) * n
-	for _, res := range q.Residues {
-		toks, ok := q.Tokens[res]
-		if !ok || len(toks) != len(s.db.Chunks) {
-			return nil, fmt.Errorf("core: query tokens missing or mis-sized for residue %d", res)
-		}
-		bm := make([]bool, numWindows)
-		for j, chunk := range s.db.Chunks {
-			psi := PatternPhase(n, j, res, q.YBits)
-			pattern, ok := q.Patterns[psi]
-			if !ok {
-				return nil, fmt.Errorf("core: query missing pattern phase %d", psi)
-			}
-			sum := s.ev.Add(chunk, pattern)
-			ir.Stats.HomAdds++
-			// Index generation: compare the first component against the
-			// expected hit value coefficient-by-coefficient.
-			tok := toks[j]
-			base := j * n
-			for i, v := range sum.C[0] {
-				if v == tok[i] {
-					bm[base+i] = true
-				}
-			}
-			ir.Stats.CoeffCompares += int64(n)
-		}
-		ir.Hits[res] = bm
-	}
-	ir.Candidates = Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
-	return ir, nil
+	return s.engine.SearchAndIndex(q)
 }
 
 func (s *Server) checkQuery(q *Query) error {
-	if q.YBits < 1 {
-		return fmt.Errorf("core: query has invalid length %d", q.YBits)
-	}
-	if q.NumChunks != len(s.db.Chunks) {
-		return fmt.Errorf("core: query prepared for %d chunks, database has %d",
-			q.NumChunks, len(s.db.Chunks))
-	}
-	if q.DBBitLen != s.db.BitLen {
-		return fmt.Errorf("core: query prepared for %d-bit database, have %d bits",
-			q.DBBitLen, s.db.BitLen)
-	}
-	return nil
+	return validateSearchQuery(s.db, q, false)
 }

@@ -170,14 +170,14 @@ func TestEndToEndOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := conn.UploadDB(db); err != nil {
+	if err := conn.UploadDB("corpus", core.EngineSpec{}, db); err != nil {
 		t.Fatal(err)
 	}
 	q, err := client.PrepareQuery(query, 32, 1536)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := conn.Search(q)
+	got, err := conn.Search("corpus", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestEndToEndOverTCP(t *testing.T) {
 
 	// Searching without tokens must be rejected client-side.
 	q.Tokens = nil
-	if _, err := conn.Search(q); err == nil {
+	if _, err := conn.Search("corpus", q); err == nil {
 		t.Fatal("tokenless remote search accepted")
 	}
 }

@@ -26,6 +26,10 @@ func TestDecodeGarbageNeverPanics(t *testing.T) {
 			_, _ = DecodeDB(buf, p)
 			_, _ = DecodeQuery(buf, p)
 			_, _ = DecodeResult(buf)
+			_, _, _, _ = DecodeUploadDB(buf, p)
+			_, _, _ = DecodeNamedQuery(buf, p)
+			_, _ = DecodeDBList(buf)
+			_, _ = DecodeName(buf)
 		}()
 	}
 }

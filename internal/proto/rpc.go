@@ -9,23 +9,36 @@ import (
 	"ciphermatch/internal/core"
 )
 
-// Server is the network-facing CIPHERMATCH server: it stores one encrypted
-// database per process and answers CM searches. It never holds key
-// material; in ModeSeededMatch it only learns the hit pattern it returns.
+// Server is the network-facing CIPHERMATCH service: a multi-tenant
+// store of named encrypted databases, each behind its own execution
+// engine (serial, pool, sharded, or the in-flash simulator). It never
+// holds key material; in ModeSeededMatch it only learns the hit
+// patterns it returns. Connections are served concurrently and searches
+// only take per-database read locks, so tenants never serialise on each
+// other.
 type Server struct {
 	params bfv.Params
-
-	mu   sync.Mutex
-	core *core.Server
+	store  *Store
 }
 
-// NewServer creates a server for the given parameters.
+// NewServer creates a server whose databases default to the serial
+// engine.
 func NewServer(params bfv.Params) *Server {
-	return &Server{params: params}
+	return NewServerWithSpec(params, core.EngineSpec{})
 }
 
-// Serve accepts connections until the listener closes. Each connection may
-// carry any number of requests.
+// NewServerWithSpec creates a server with a default engine spec applied
+// to uploads that do not request a specific engine.
+func NewServerWithSpec(params bfv.Params, defaultSpec core.EngineSpec) *Server {
+	return &Server{params: params, store: NewStore(params, defaultSpec)}
+}
+
+// Store exposes the database registry (for embedding the server
+// in-process).
+func (s *Server) Store() *Store { return s.store }
+
+// Serve accepts connections until the listener closes. Each connection
+// may carry any number of requests.
 func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -36,6 +49,10 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// handleConn answers requests until the peer disconnects. Application
+// errors (unknown database, malformed query) are reported as MsgError
+// and the connection stays usable — one tenant's bad request must not
+// tear down a session.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	for {
@@ -43,48 +60,59 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or broken peer; nothing to answer
 		}
-		if err := s.handleMessage(conn, msgType, payload); err != nil {
-			_ = WriteMessage(conn, MsgError, []byte(err.Error()))
+		reply, body, err := s.handleMessage(msgType, payload)
+		if err != nil {
+			reply, body = MsgError, []byte(err.Error())
+		}
+		if err := WriteMessage(conn, reply, body); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) handleMessage(conn net.Conn, msgType byte, payload []byte) error {
+func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, error) {
 	switch msgType {
 	case MsgUploadDB:
-		db, err := DecodeDB(payload, s.params)
+		name, spec, db, err := DecodeUploadDB(payload, s.params)
 		if err != nil {
-			return fmt.Errorf("decoding database: %w", err)
+			return 0, nil, fmt.Errorf("decoding database: %w", err)
 		}
-		s.mu.Lock()
-		s.core = core.NewServer(s.params, db)
-		s.mu.Unlock()
-		return WriteMessage(conn, MsgAck, nil)
+		if err := s.store.Upload(name, spec, db); err != nil {
+			return 0, nil, err
+		}
+		return MsgAck, nil, nil
 	case MsgQuery:
-		q, err := DecodeQuery(payload, s.params)
+		name, q, err := DecodeNamedQuery(payload, s.params)
 		if err != nil {
-			return fmt.Errorf("decoding query: %w", err)
+			return 0, nil, fmt.Errorf("decoding query: %w", err)
 		}
-		s.mu.Lock()
-		srv := s.core
-		s.mu.Unlock()
-		if srv == nil {
-			return fmt.Errorf("no database uploaded")
-		}
-		ir, err := srv.SearchAndIndex(q)
+		ir, err := s.store.Search(name, q)
 		if err != nil {
-			return fmt.Errorf("search: %w", err)
+			return 0, nil, fmt.Errorf("search: %w", err)
 		}
-		return WriteMessage(conn, MsgResult, EncodeResult(ir.Candidates))
+		return MsgResult, EncodeResult(ir.Candidates), nil
+	case MsgListDBs:
+		return MsgDBList, EncodeDBList(s.store.List()), nil
+	case MsgDropDB:
+		name, err := DecodeName(payload)
+		if err != nil {
+			return 0, nil, fmt.Errorf("decoding name: %w", err)
+		}
+		if err := s.store.Drop(name); err != nil {
+			return 0, nil, err
+		}
+		return MsgAck, nil, nil
 	default:
-		return fmt.Errorf("unexpected message type %d", msgType)
+		return 0, nil, fmt.Errorf("unexpected message type %d", msgType)
 	}
 }
 
-// Conn is the client side of the protocol.
+// Conn is the client side of the protocol. A Conn serialises its own
+// request/response pairs; open one Conn per goroutine for parallel
+// searches.
 type Conn struct {
 	params bfv.Params
+	mu     sync.Mutex
 	conn   net.Conn
 }
 
@@ -100,49 +128,80 @@ func Dial(addr string, params bfv.Params) (*Conn, error) {
 // Close closes the connection.
 func (c *Conn) Close() error { return c.conn.Close() }
 
-// UploadDB ships the encrypted database to the server.
-func (c *Conn) UploadDB(db *core.EncryptedDB) error {
-	if err := WriteMessage(c.conn, MsgUploadDB, EncodeDB(db, c.params)); err != nil {
-		return err
+// roundTrip writes one request and reads its reply.
+func (c *Conn) roundTrip(msgType byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteMessage(c.conn, msgType, payload); err != nil {
+		return 0, nil, err
 	}
-	return c.expectAck()
+	return ReadMessage(c.conn)
 }
 
-// Search runs one remote search and returns the candidate offsets. The
-// query must carry match tokens (core.ModeSeededMatch): the server
-// generates the index and only the index travels back.
-func (c *Conn) Search(q *core.Query) ([]int, error) {
+// UploadDB ships an encrypted database to the server under the given
+// name. An empty spec kind lets the server pick its default engine.
+func (c *Conn) UploadDB(name string, spec core.EngineSpec, db *core.EncryptedDB) error {
+	reply, body, err := c.roundTrip(MsgUploadDB, EncodeUploadDB(name, spec, db, c.params))
+	if err != nil {
+		return err
+	}
+	return expectAck(reply, body)
+}
+
+// Search runs one remote search against the named database and returns
+// the candidate offsets. The query must carry match tokens
+// (core.ModeSeededMatch): the server generates the index and only the
+// index travels back.
+func (c *Conn) Search(name string, q *core.Query) ([]int, error) {
 	if q.Tokens == nil {
 		return nil, fmt.Errorf("proto: remote search requires match tokens (core.ModeSeededMatch)")
 	}
-	if err := WriteMessage(c.conn, MsgQuery, EncodeQuery(q, c.params)); err != nil {
-		return nil, err
-	}
-	msgType, payload, err := ReadMessage(c.conn)
+	reply, body, err := c.roundTrip(MsgQuery, EncodeNamedQuery(name, q, c.params))
 	if err != nil {
 		return nil, err
 	}
-	switch msgType {
+	switch reply {
 	case MsgResult:
-		return DecodeResult(payload)
+		return DecodeResult(body)
 	case MsgError:
-		return nil, fmt.Errorf("proto: server error: %s", payload)
+		return nil, fmt.Errorf("proto: server error: %s", body)
 	default:
-		return nil, fmt.Errorf("proto: unexpected reply type %d", msgType)
+		return nil, fmt.Errorf("proto: unexpected reply type %d", reply)
 	}
 }
 
-func (c *Conn) expectAck() error {
-	msgType, payload, err := ReadMessage(c.conn)
+// ListDBs returns the server's database listing.
+func (c *Conn) ListDBs() ([]DBInfo, error) {
+	reply, body, err := c.roundTrip(MsgListDBs, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch reply {
+	case MsgDBList:
+		return DecodeDBList(body)
+	case MsgError:
+		return nil, fmt.Errorf("proto: server error: %s", body)
+	default:
+		return nil, fmt.Errorf("proto: unexpected reply type %d", reply)
+	}
+}
+
+// DropDB removes the named database from the server.
+func (c *Conn) DropDB(name string) error {
+	reply, body, err := c.roundTrip(MsgDropDB, EncodeName(name))
 	if err != nil {
 		return err
 	}
-	switch msgType {
+	return expectAck(reply, body)
+}
+
+func expectAck(reply byte, body []byte) error {
+	switch reply {
 	case MsgAck:
 		return nil
 	case MsgError:
-		return fmt.Errorf("proto: server error: %s", payload)
+		return fmt.Errorf("proto: server error: %s", body)
 	default:
-		return fmt.Errorf("proto: unexpected reply type %d", msgType)
+		return fmt.Errorf("proto: unexpected reply type %d", reply)
 	}
 }

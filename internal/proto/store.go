@@ -1,0 +1,194 @@
+package proto
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/engine"
+)
+
+// Store is the server's multi-tenant database registry: named encrypted
+// databases, each with its own execution engine and its own RWMutex, so
+// searches on different databases — and concurrent searches on the same
+// database — proceed in parallel. The store-level lock only guards the
+// name table; it is never held across a search.
+type Store struct {
+	params      bfv.Params
+	defaultSpec core.EngineSpec
+
+	mu  sync.RWMutex
+	dbs map[string]*hostedDB
+}
+
+// hostedDB is one tenant database. Searches hold mu.RLock; replacement
+// and removal take mu.Lock so an engine is only torn down quiescent.
+type hostedDB struct {
+	name     string
+	spec     core.EngineSpec
+	mu       sync.RWMutex
+	db       *core.EncryptedDB
+	engine   core.Engine
+	searches atomic.Int64
+}
+
+// NewStore creates an empty store. Uploads that do not name an engine
+// kind get defaultSpec (zero value = serial).
+func NewStore(params bfv.Params, defaultSpec core.EngineSpec) *Store {
+	return &Store{params: params, defaultSpec: defaultSpec, dbs: make(map[string]*hostedDB)}
+}
+
+// Upload installs (or replaces) the named database, building its engine
+// from spec; an empty spec kind selects the store default. Replacement
+// waits for in-flight searches on the old engine before closing it.
+func (st *Store) Upload(name string, spec core.EngineSpec, edb *core.EncryptedDB) error {
+	if name == "" {
+		return fmt.Errorf("proto: database name must not be empty")
+	}
+	if len(name) > MaxNameLen {
+		return fmt.Errorf("proto: database name exceeds %d bytes", MaxNameLen)
+	}
+	// Bound wire-supplied resources: the CLI path validates specs via
+	// engine.Parse, but a remote peer writes the spec fields directly and
+	// must not be able to request unbounded goroutines or shards. The
+	// worker bound applies to the product workers × shards (a pool per
+	// shard), counting the GOMAXPROCS default for unspecified workers.
+	if spec.Shards < 0 || spec.Shards > MaxUploadShards {
+		return fmt.Errorf("proto: shard count %d out of range [0, %d]", spec.Shards, MaxUploadShards)
+	}
+	workers := spec.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := spec.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if spec.Workers < 0 || workers*shards > MaxUploadWorkers {
+		return fmt.Errorf("proto: %d workers x %d shards exceeds the server limit of %d total workers",
+			workers, shards, MaxUploadWorkers)
+	}
+	if spec.Kind == "" {
+		workers, shards := spec.Workers, spec.Shards
+		spec = st.defaultSpec
+		if workers > 0 {
+			spec.Workers = workers
+		}
+		if shards > 0 {
+			spec.Shards = shards
+		}
+	}
+	eng, err := engine.Build(st.params, edb, spec)
+	if err != nil {
+		return fmt.Errorf("proto: building %q engine for %q: %w", spec, name, err)
+	}
+	entry := &hostedDB{name: name, spec: spec, db: edb, engine: eng}
+	st.mu.Lock()
+	old := st.dbs[name]
+	if old == nil && len(st.dbs) >= MaxStoredDBs {
+		st.mu.Unlock()
+		entry.retire()
+		return fmt.Errorf("proto: store holds %d databases (limit %d); drop one first", len(st.dbs), MaxStoredDBs)
+	}
+	st.dbs[name] = entry
+	st.mu.Unlock()
+	if old != nil {
+		old.retire()
+	}
+	return nil
+}
+
+// retire waits for in-flight searches and closes the engine if it holds
+// resources (worker pools).
+func (d *hostedDB) retire() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.engine.(io.Closer); ok {
+		_ = c.Close()
+	}
+	d.engine = nil
+}
+
+func (st *Store) lookup(name string) (*hostedDB, error) {
+	st.mu.RLock()
+	d := st.dbs[name]
+	st.mu.RUnlock()
+	if d == nil {
+		return nil, fmt.Errorf("proto: no database named %q", name)
+	}
+	return d, nil
+}
+
+// Search runs one query against the named database under its read lock:
+// any number of searches share a database (and the whole store) at once.
+func (st *Store) Search(name string, q *core.Query) (*core.IndexResult, error) {
+	d, err := st.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.engine == nil {
+		return nil, fmt.Errorf("proto: database %q was dropped", name)
+	}
+	d.searches.Add(1)
+	return d.engine.SearchAndIndex(q)
+}
+
+// Drop removes the named database and tears its engine down.
+func (st *Store) Drop(name string) error {
+	st.mu.Lock()
+	d := st.dbs[name]
+	delete(st.dbs, name)
+	st.mu.Unlock()
+	if d == nil {
+		return fmt.Errorf("proto: no database named %q", name)
+	}
+	d.retire()
+	return nil
+}
+
+// List describes every hosted database, sorted by name.
+func (st *Store) List() []DBInfo {
+	st.mu.RLock()
+	entries := make([]*hostedDB, 0, len(st.dbs))
+	for _, d := range st.dbs {
+		entries = append(entries, d)
+	}
+	st.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	infos := make([]DBInfo, 0, len(entries))
+	for _, d := range entries {
+		d.mu.RLock()
+		desc := "retired"
+		if d.engine != nil {
+			desc = d.engine.Describe()
+		}
+		infos = append(infos, DBInfo{
+			Name:     d.name,
+			Engine:   desc,
+			Chunks:   len(d.db.Chunks),
+			BitLen:   d.db.BitLen,
+			Searches: int(d.searches.Load()),
+		})
+		d.mu.RUnlock()
+	}
+	return infos
+}
+
+// Close retires every database (server shutdown).
+func (st *Store) Close() error {
+	st.mu.Lock()
+	dbs := st.dbs
+	st.dbs = make(map[string]*hostedDB)
+	st.mu.Unlock()
+	for _, d := range dbs {
+		d.retire()
+	}
+	return nil
+}

@@ -20,13 +20,33 @@ import (
 	"ciphermatch/internal/ring"
 )
 
-// Message types.
+// Message types. MsgUploadDB and MsgQuery address a named database, so
+// one server process serves many tenants; MsgListDBs/MsgDropDB manage
+// the namespace.
 const (
-	MsgUploadDB byte = 1
-	MsgQuery    byte = 2
+	MsgUploadDB byte = 1 // name + engine spec + database -> MsgAck
+	MsgQuery    byte = 2 // name + query -> MsgResult
 	MsgResult   byte = 3
 	MsgError    byte = 4
 	MsgAck      byte = 5
+	MsgListDBs  byte = 6 // empty -> MsgDBList
+	MsgDBList   byte = 7
+	MsgDropDB   byte = 8 // name -> MsgAck
+)
+
+// MaxNameLen bounds database names on the wire.
+const MaxNameLen = 255
+
+// Bounds on what a remote upload may request: a forged spec must not
+// spawn unbounded goroutines or simulated drives server-side, and the
+// store must not grow without limit. MaxUploadWorkers bounds the
+// *total* worker count (workers × shards, with 0 workers counted as
+// GOMAXPROCS); MaxUploadShards bounds per-database engines (each SSD
+// shard is a full simulated drive); MaxStoredDBs bounds the namespace.
+const (
+	MaxUploadWorkers = 1024
+	MaxUploadShards  = 64
+	MaxStoredDBs     = 64
 )
 
 // MaxPayload bounds a single message (1 GiB) to keep a malformed peer from
@@ -91,6 +111,24 @@ func (b *buffer) uint32() (uint32, error) {
 func (b *buffer) int() (int, error) {
 	v, err := b.uint32()
 	return int(v), err
+}
+
+func (b *buffer) putString(s string) {
+	b.putInt(len(s))
+	b.data = append(b.data, s...)
+}
+
+func (b *buffer) string() (string, error) {
+	n, err := b.count(1)
+	if err != nil {
+		return "", err
+	}
+	if b.off+n > len(b.data) {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := string(b.data[b.off : b.off+n])
+	b.off += n
+	return s, nil
 }
 
 // count reads an element count and validates it against the remaining
@@ -295,6 +333,123 @@ func DecodeQuery(data []byte, p bfv.Params) (*core.Query, error) {
 		q.Tokens[res] = toks
 	}
 	return q, nil
+}
+
+// EncodeUploadDB frames a named database upload: the target name, the
+// requested engine spec (empty kind = server default), then the
+// database itself.
+func EncodeUploadDB(name string, spec core.EngineSpec, db *core.EncryptedDB, p bfv.Params) []byte {
+	var b buffer
+	b.putString(name)
+	b.putString(spec.Kind)
+	b.putInt(spec.Workers)
+	b.putInt(spec.Shards)
+	b.data = append(b.data, EncodeDB(db, p)...)
+	return b.data
+}
+
+// DecodeUploadDB is the inverse of EncodeUploadDB.
+func DecodeUploadDB(data []byte, p bfv.Params) (string, core.EngineSpec, *core.EncryptedDB, error) {
+	b := buffer{data: data}
+	var spec core.EngineSpec
+	name, err := b.string()
+	if err != nil {
+		return "", spec, nil, err
+	}
+	if spec.Kind, err = b.string(); err != nil {
+		return "", spec, nil, err
+	}
+	if spec.Workers, err = b.int(); err != nil {
+		return "", spec, nil, err
+	}
+	if spec.Shards, err = b.int(); err != nil {
+		return "", spec, nil, err
+	}
+	db, err := DecodeDB(data[b.off:], p)
+	return name, spec, db, err
+}
+
+// EncodeNamedQuery frames a query addressed to a named database.
+func EncodeNamedQuery(name string, q *core.Query, p bfv.Params) []byte {
+	var b buffer
+	b.putString(name)
+	b.data = append(b.data, EncodeQuery(q, p)...)
+	return b.data
+}
+
+// DecodeNamedQuery is the inverse of EncodeNamedQuery.
+func DecodeNamedQuery(data []byte, p bfv.Params) (string, *core.Query, error) {
+	b := buffer{data: data}
+	name, err := b.string()
+	if err != nil {
+		return "", nil, err
+	}
+	q, err := DecodeQuery(data[b.off:], p)
+	return name, q, err
+}
+
+// EncodeName frames a bare database name (MsgDropDB).
+func EncodeName(name string) []byte {
+	var b buffer
+	b.putString(name)
+	return b.data
+}
+
+// DecodeName is the inverse of EncodeName.
+func DecodeName(data []byte) (string, error) {
+	b := buffer{data: data}
+	return b.string()
+}
+
+// DBInfo describes one hosted database (MsgDBList).
+type DBInfo struct {
+	Name     string
+	Engine   string // engine description, e.g. "pool(8 workers)"
+	Chunks   int
+	BitLen   int
+	Searches int
+}
+
+// EncodeDBList serialises the database listing.
+func EncodeDBList(infos []DBInfo) []byte {
+	var b buffer
+	b.putInt(len(infos))
+	for _, in := range infos {
+		b.putString(in.Name)
+		b.putString(in.Engine)
+		b.putInt(in.Chunks)
+		b.putInt(in.BitLen)
+		b.putInt(in.Searches)
+	}
+	return b.data
+}
+
+// DecodeDBList is the inverse of EncodeDBList.
+func DecodeDBList(data []byte) ([]DBInfo, error) {
+	b := buffer{data: data}
+	n, err := b.count(20) // five 4-byte words minimum per entry
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]DBInfo, n)
+	for i := range infos {
+		if infos[i].Name, err = b.string(); err != nil {
+			return nil, err
+		}
+		if infos[i].Engine, err = b.string(); err != nil {
+			return nil, err
+		}
+		if infos[i].Chunks, err = b.int(); err != nil {
+			return nil, err
+		}
+		if infos[i].BitLen, err = b.int(); err != nil {
+			return nil, err
+		}
+		if infos[i].Searches, err = b.int(); err != nil {
+			return nil, err
+		}
+	}
+	return infos, nil
 }
 
 // EncodeResult serialises candidate offsets.

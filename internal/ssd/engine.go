@@ -1,0 +1,82 @@
+package ssd
+
+import (
+	"fmt"
+	"sync"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+)
+
+// Engine adapts the in-flash simulator to core.Engine, so the SSD's
+// CM-search is drivable through the exact same API as the CPU engines —
+// the substrate interchangeability the paper argues for. A drive is one
+// physical device whose controller state (latches, stats) is mutated by
+// every command, so searches serialise on an internal mutex; scale-out
+// comes from putting one drive per shard under a core.ShardedEngine.
+type Engine struct {
+	drive *SSD
+
+	mu  sync.Mutex
+	cum core.Stats
+}
+
+var _ core.Engine = (*Engine)(nil)
+
+// NewEngine wraps an SSD that already holds a database (CMWriteDatabase).
+func NewEngine(drive *SSD) (*Engine, error) {
+	if drive.StoredChunks() == 0 {
+		return nil, fmt.Errorf("ssd: engine requires a database in the CIPHERMATCH region (CMWriteDatabase)")
+	}
+	return &Engine{drive: drive}, nil
+}
+
+// NewEngineForDB creates a drive with the given configuration, writes
+// the database into its CIPHERMATCH region, and wraps it as an engine.
+func NewEngineForDB(cfg Config, params bfv.Params, kind TranspositionKind, db *core.EncryptedDB) (*Engine, error) {
+	drive, err := New(cfg, params, kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := drive.CMWriteDatabase(db); err != nil {
+		return nil, err
+	}
+	return NewEngine(drive)
+}
+
+// Drive returns the underlying SSD (for latency/energy accounting).
+func (e *Engine) Drive() *SSD {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.drive
+}
+
+// SearchAndIndex implements core.Engine by dispatching CM-search.
+func (e *Engine) SearchAndIndex(q *core.Query) (*core.IndexResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ir, err := e.drive.CMSearch(q)
+	if err != nil {
+		return nil, err
+	}
+	e.cum.HomAdds += ir.Stats.HomAdds
+	e.cum.CoeffCompares += ir.Stats.CoeffCompares
+	e.cum.ResultBytes += ir.Stats.ResultBytes
+	return ir, nil
+}
+
+// Stats implements core.Engine.
+func (e *Engine) Stats() core.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cum
+}
+
+// Describe implements core.Engine.
+func (e *Engine) Describe() string {
+	kind := "software-transpose"
+	if e.drive.transKind == HardwareTransposition {
+		kind = "hardware-transpose"
+	}
+	return fmt.Sprintf("ssd(%d planes, %s)", len(e.drive.planes), kind)
+}

@@ -31,6 +31,11 @@ func (s *SSD) CMSearch(q *core.Query) (*core.IndexResult, error) {
 	n := s.params.N
 	ir := &core.IndexResult{Hits: make(core.HitBitmaps, len(q.Residues))}
 	numWindows := s.numChunks * n
+	// Snapshot the controller counters so ir.Stats reports this call's
+	// work (the cumulative counters stay in ControllerStats), keeping
+	// per-call stats comparable across engines.
+	startAdds := s.ctrl.HomAdds
+	startPages := s.ctrl.IndexGenPages
 
 	// Pre-convert pattern components once per phase.
 	patterns := make(map[int][2][]uint32, len(q.Patterns))
@@ -114,9 +119,11 @@ func (s *SSD) CMSearch(q *core.Query) (*core.IndexResult, error) {
 		}
 		ir.Hits[res] = bm
 	}
-	ir.Candidates = core.Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
-	ir.Stats.HomAdds = s.ctrl.HomAdds
-	ir.Stats.CoeffCompares = int64(s.ctrl.IndexGenPages) * int64(s.cfg.Geometry.PageBits()/2)
-	s.ctrl.HostBytesOut += int64(len(ir.Candidates) * 8)
+	if !q.HitsOnly {
+		ir.Candidates = core.Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
+		s.ctrl.HostBytesOut += int64(len(ir.Candidates) * 8)
+	}
+	ir.Stats.HomAdds = s.ctrl.HomAdds - startAdds
+	ir.Stats.CoeffCompares = int64(s.ctrl.IndexGenPages-startPages) * int64(s.cfg.Geometry.PageBits()/2)
 	return ir, nil
 }
