@@ -329,6 +329,77 @@ func BenchmarkEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineBatch compares the batched multi-query pipeline
+// against sequential execution: 8 in-flight queries answered by one
+// SearchAndIndexBatch pass versus 8 SearchAndIndex calls, per engine
+// kind. The batch models a production stream against a hot database —
+// 2 distinct patterns each issued by 4 users — so the pipeline's two
+// levers both engage: one chunk walk amortised across the batch, and
+// pattern-ciphertext dedup collapsing repeated queries (seed-derived
+// pattern randomness makes equal queries byte-identical). The SSD kind
+// exercises the sequential fallback, so its pair is expected to tie.
+func BenchmarkEngineBatch(b *testing.B) {
+	cfg := Config{Params: ParamsPaper(), AlignBits: 8, Mode: ModeSeededMatch}
+	client, err := NewClient(cfg, NewSeed("engine-batch-bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	NewSeed("engine-batch-bench-data").Bytes(data)
+	db, err := client.EncryptDatabase(data, len(data)*8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patterns := [][]byte{{0xDE, 0xAD, 0xBE, 0xEF}, {0xCA, 0xFE, 0xBA, 0xBE}}
+	queries := make([]*Query, 8)
+	for i := range queries {
+		if queries[i], err = client.PrepareQuery(patterns[i%len(patterns)], 32, len(data)*8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bq := NewBatchQuery(queries...)
+	for _, specStr := range []string{"serial", "pool", "ssd"} {
+		spec, err := ParseEngineSpec(specStr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		newEngine := func(b *testing.B) Engine {
+			eng, err := NewEngine(cfg.Params, db, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return eng
+		}
+		closeEngine := func(eng Engine) {
+			if closer, ok := eng.(interface{ Close() error }); ok {
+				_ = closer.Close()
+			}
+		}
+		b.Run(specStr+"/batch-8", func(b *testing.B) {
+			eng := newEngine(b)
+			defer closeEngine(eng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SearchBatch(eng, bq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(specStr+"/sequential-8", func(b *testing.B) {
+			eng := newEngine(b)
+			defer closeEngine(eng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := eng.SearchAndIndex(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // --- ablation benchmarks (DESIGN.md §5) ---
 
 // BenchmarkAblationPolyMul compares the two negacyclic multiplication

@@ -34,6 +34,10 @@
 package ciphermatch
 
 import (
+	"fmt"
+	"os"
+	"strings"
+
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/core"
 	"ciphermatch/internal/engine"
@@ -74,6 +78,13 @@ type (
 	// path, the worker-pool path, chunk-range sharded compositions and
 	// the in-flash simulator all satisfy it and return identical results.
 	Engine = core.Engine
+	// BatchQuery carries N independent queries against one database, so
+	// an engine can amortise a single pass over the encrypted chunks
+	// across all of them (see SearchBatch).
+	BatchQuery = core.BatchQuery
+	// BatchSearcher is the batched extension of Engine; every built-in
+	// engine satisfies it.
+	BatchSearcher = core.BatchSearcher
 	// EngineSpec selects and parameterises an engine
 	// ("kind[:workers][/shards=N]"; see ParseEngineSpec).
 	EngineSpec = core.EngineSpec
@@ -152,6 +163,38 @@ func NewEngine(p Params, db *EncryptedDB, spec EngineSpec) (Engine, error) {
 // ParseEngineSpec reads "kind[:workers][/shards=N]", e.g. "serial",
 // "pool:8" or "ssd/shards=4".
 func ParseEngineSpec(s string) (EngineSpec, error) { return engine.Parse(s) }
+
+// NewBatchQuery assembles queries into a batch, deduplicating pattern
+// ciphertexts shared between members (e.g. the same hot query issued by
+// several users of one data owner), so batch execution evaluates each
+// distinct pattern once per chunk.
+func NewBatchQuery(queries ...*Query) *BatchQuery { return core.NewBatchQuery(queries...) }
+
+// SearchBatch executes every member of bq on e — through the engine's
+// single-pass batch pipeline where it has one, sequentially otherwise —
+// and returns one IndexResult per member, identical to per-member
+// SearchAndIndex calls.
+func SearchBatch(e Engine, bq *BatchQuery) ([]*IndexResult, error) { return core.SearchBatch(e, bq) }
+
+// ReadPatternFile loads the batch-query file format the CLIs' -queryfile
+// flag accepts: one pattern per line, blank lines skipped, CRLF
+// tolerated. It errors on an empty pattern set.
+func ReadPatternFile(path string) ([][]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var patterns [][]byte
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimRight(line, "\r"); line != "" {
+			patterns = append(patterns, []byte(line))
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("ciphermatch: pattern file %s holds no patterns", path)
+	}
+	return patterns, nil
+}
 
 // Candidates converts hit bitmaps into candidate occurrence offsets.
 func Candidates(hits HitBitmaps, dbBits, queryBits, alignBits int) []int {

@@ -8,8 +8,14 @@
 //
 //	cmclient -addr localhost:7448 -name corpus -db corpus.txt -query "needle"
 //	cmclient -name corpus -engine pool:8 -db corpus.txt -query "needle"
+//	cmclient -name corpus -db corpus.txt -queryfile patterns.txt
 //	cmclient -list
 //	cmclient -drop corpus
+//
+// With -queryfile (one pattern per line), all patterns travel in a
+// single batched request: the server walks the encrypted database once
+// for the whole set, and patterns repeated across lines are shipped and
+// evaluated once.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 
 	"ciphermatch"
+	"ciphermatch/internal/core"
 	"ciphermatch/internal/proto"
 )
 
@@ -26,6 +33,7 @@ func main() {
 	name := flag.String("name", "default", "server-side database name")
 	dbPath := flag.String("db", "", "file to upload and search")
 	queryStr := flag.String("query", "", "query string")
+	queryFile := flag.String("queryfile", "", "file of query patterns, one per line, submitted as one batched request")
 	align := flag.Int("align", 8, "occurrence alignment in bits")
 	seed := flag.String("seed", "cmclient-default-seed", "client key/randomness seed label")
 	engineSpec := flag.String("engine", "", "server-side engine for this database, kind[:workers][/shards=N] (empty = server default)")
@@ -67,7 +75,7 @@ func main() {
 		return
 	}
 
-	if *dbPath == "" || *queryStr == "" {
+	if *dbPath == "" || (*queryStr == "") == (*queryFile == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -95,6 +103,11 @@ func main() {
 	}
 	fmt.Printf("uploaded %q: %d encrypted chunks (%d bytes)\n", *name, len(db.Chunks), db.SizeBytes(cfg.Params))
 
+	if *queryFile != "" {
+		batchSearch(conn, client, *name, *queryFile, data, dbBits)
+		return
+	}
+
 	query := []byte(*queryStr)
 	q, err := client.PrepareQuery(query, len(query)*8, dbBits)
 	if err != nil {
@@ -108,6 +121,32 @@ func main() {
 	fmt.Printf("server returned %d candidates, %d verified\n", len(candidates), len(verified))
 	for _, o := range verified {
 		fmt.Printf("match at byte %d\n", o/8)
+	}
+}
+
+// batchSearch reads one pattern per line from path and submits them all
+// as a single MsgBatchQuery round trip.
+func batchSearch(conn *proto.Conn, client *ciphermatch.Client, name, path string, data []byte, dbBits int) {
+	patterns, err := ciphermatch.ReadPatternFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	queries := make([]*core.Query, len(patterns))
+	for i, pat := range patterns {
+		if queries[i], err = client.PrepareQuery(pat, len(pat)*8, dbBits); err != nil {
+			fatal(fmt.Errorf("preparing pattern %q: %w", pat, err))
+		}
+	}
+	results, err := conn.SearchBatch(name, queries)
+	if err != nil {
+		fatal(fmt.Errorf("remote batch search: %w", err))
+	}
+	for i, pat := range patterns {
+		verified := ciphermatch.VerifyCandidates(data, dbBits, pat, len(pat)*8, results[i])
+		fmt.Printf("%q: %d candidates, %d verified\n", pat, len(results[i]), len(verified))
+		for _, o := range verified {
+			fmt.Printf("  match at byte %d\n", o/8)
+		}
 	}
 }
 

@@ -7,6 +7,10 @@
 //
 //	cmsearch -db corpus.txt -query "needle"
 //	cmsearch -db genome.2bit -query-hex 1B1B -align 2
+//	cmsearch -db corpus.txt -queryfile patterns.txt -engine pool
+//
+// With -queryfile (one pattern per line), the patterns run as one batch:
+// the engine walks the encrypted database once for the whole set.
 package main
 
 import (
@@ -22,13 +26,17 @@ func main() {
 	dbPath := flag.String("db", "", "file to search (required)")
 	queryStr := flag.String("query", "", "query string")
 	queryHex := flag.String("query-hex", "", "query bytes in hex (alternative to -query)")
+	queryFile := flag.String("queryfile", "", "file of query patterns, one per line, searched as one batch")
 	align := flag.Int("align", 8, "occurrence alignment in bits (8 = byte boundaries)")
 	seed := flag.String("seed", "cmsearch-default-seed", "client key/randomness seed label")
 	verify := flag.Bool("verify", true, "verify candidates against the plaintext")
 	engineSpec := flag.String("engine", "serial", "execution engine: kind[:workers][/shards=N], kind one of serial|pool|ssd")
 	flag.Parse()
 
-	if *dbPath == "" || (*queryStr == "" && *queryHex == "") {
+	// Exactly one query source: -query/-query-hex (single search) or
+	// -queryfile (batch).
+	single := *queryStr != "" || *queryHex != ""
+	if *dbPath == "" || single == (*queryFile != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -64,6 +72,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *queryFile != "" {
+		batchSearch(server, client, *queryFile, data, dbBits, *verify)
+		return
+	}
+
 	q, err := client.PrepareQuery(query, len(query)*8, dbBits)
 	if err != nil {
 		fatal(err)
@@ -90,6 +104,38 @@ func main() {
 	}
 	for _, o := range offsets {
 		fmt.Printf("%s at bit offset %d (byte %d)\n", label, o, o/8)
+	}
+}
+
+// batchSearch runs every pattern of the -queryfile through the server
+// engine's batched single-pass pipeline.
+func batchSearch(server *ciphermatch.Server, client *ciphermatch.Client, path string, data []byte, dbBits int, verify bool) {
+	patterns, err := ciphermatch.ReadPatternFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	queries := make([]*ciphermatch.Query, len(patterns))
+	for i, pat := range patterns {
+		if queries[i], err = client.PrepareQuery(pat, len(pat)*8, dbBits); err != nil {
+			fatal(fmt.Errorf("preparing pattern %q: %w", pat, err))
+		}
+	}
+	results, err := server.SearchAndIndexBatch(ciphermatch.NewBatchQuery(queries...))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("batched %d patterns through engine %s\n", len(patterns), server.Engine().Describe())
+	for i, pat := range patterns {
+		offsets := results[i].Candidates
+		label := "candidates"
+		if verify {
+			offsets = ciphermatch.VerifyCandidates(data, dbBits, pat, len(pat)*8, offsets)
+			label = "verified matches"
+		}
+		fmt.Printf("%q: %d %s (%d homomorphic additions)\n", pat, len(offsets), label, results[i].Stats.HomAdds)
+		for _, o := range offsets {
+			fmt.Printf("  bit offset %d (byte %d)\n", o, o/8)
+		}
 	}
 }
 

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/ring"
+)
+
+// BatchQuery carries N independent queries destined for the same
+// encrypted database, so an engine can amortise a single pass over
+// db.Chunks across all of them. This is the throughput lever of a
+// multi-user deployment: when many queries arrive against one hot
+// database, walking the ciphertext chunks once per *batch* instead of
+// once per *query* turns the dominant memory traffic into shared work —
+// the same data-reuse argument the paper makes for array-level
+// parallelism inside the flash die.
+//
+// Members are fully independent: they may differ in length, alignment
+// and shift variants. Members that share a pattern ciphertext for a
+// phase (e.g. the same hot query issued by several users of one data
+// owner, whose pattern randomness is seed-derived and therefore
+// identical) additionally share its homomorphic sum per chunk once the
+// batch has been through DedupPatterns.
+type BatchQuery struct {
+	// Queries are the member queries; results come back in this order.
+	Queries []*Query
+}
+
+// NewBatchQuery assembles a batch and canonicalises shared pattern
+// ciphertexts across members (DedupPatterns), so batch kernels evaluate
+// each distinct pattern once per chunk.
+func NewBatchQuery(queries ...*Query) *BatchQuery {
+	bq := &BatchQuery{Queries: queries}
+	bq.DedupPatterns()
+	return bq
+}
+
+// DedupPatterns rewrites coefficient-identical pattern ciphertexts
+// across members to one shared *bfv.Ciphertext, and returns the number
+// of distinct pattern ciphertexts in the batch. Batch kernels key their
+// per-chunk sum reuse on pointer identity, and the wire encoder pools
+// patterns by content, so deduplication here makes both effective for
+// batches assembled in-process from separately prepared queries.
+func (bq *BatchQuery) DedupPatterns() int {
+	seen := make(map[string]*bfv.Ciphertext)
+	for _, q := range bq.Queries {
+		for psi, ct := range q.Patterns {
+			key := ciphertextKey(ct)
+			if shared, ok := seen[key]; ok {
+				q.Patterns[psi] = shared
+			} else {
+				seen[key] = ct
+			}
+		}
+	}
+	return len(seen)
+}
+
+// ciphertextKey is the content identity of a ciphertext: every
+// component length-prefixed, coefficients little-endian. Two ciphertexts
+// with equal keys decrypt identically and produce identical homomorphic
+// sums, so they are interchangeable for dedup.
+func ciphertextKey(ct *bfv.Ciphertext) string {
+	size := 0
+	for _, p := range ct.C {
+		size += 8 + len(p)*8
+	}
+	buf := make([]byte, 0, size)
+	var tmp [8]byte
+	for _, p := range ct.C {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(len(p)))
+		buf = append(buf, tmp[:]...)
+		for _, c := range p {
+			binary.LittleEndian.PutUint64(tmp[:], c)
+			buf = append(buf, tmp[:]...)
+		}
+	}
+	return string(buf)
+}
+
+// validate checks every member against the database, so a batch fails
+// before any work starts rather than mid-pass.
+func (bq *BatchQuery) validate(db *EncryptedDB) error {
+	for i, q := range bq.Queries {
+		if err := validateSearchQuery(db, q, true); err != nil {
+			return fmt.Errorf("core: batch member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// BatchSearcher is the batched extension of Engine: engines that can
+// amortise one database pass across many queries implement it natively
+// (serial, pool, sharded); SearchBatch falls back to sequential
+// SearchAndIndex calls for engines that cannot (a physical drive
+// serialises on its controller anyway).
+type BatchSearcher interface {
+	Engine
+	// SearchAndIndexBatch executes every member of bq and returns one
+	// IndexResult per member, in member order. Results are identical to
+	// N sequential SearchAndIndex calls.
+	SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, error)
+}
+
+// SearchBatch dispatches bq to e's native batch implementation when it
+// has one, and otherwise runs the members sequentially. Either way the
+// results equal per-member SearchAndIndex calls in member order.
+func SearchBatch(e Engine, bq *BatchQuery) ([]*IndexResult, error) {
+	if bs, ok := e.(BatchSearcher); ok {
+		return bs.SearchAndIndexBatch(bq)
+	}
+	return SearchAndIndexBatchSequential(e, bq)
+}
+
+// SearchAndIndexBatchSequential is the generic loop fallback: one
+// SearchAndIndex call per member. Engines without a batched pass (the
+// in-flash simulator, whose controller serialises commands) use it to
+// satisfy BatchSearcher.
+func SearchAndIndexBatchSequential(e Engine, bq *BatchQuery) ([]*IndexResult, error) {
+	out := make([]*IndexResult, len(bq.Queries))
+	for i, q := range bq.Queries {
+		ir, err := e.SearchAndIndex(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch member %d: %w", i, err)
+		}
+		out[i] = ir
+	}
+	return out, nil
+}
+
+// newBatchBitmaps allocates the per-(member, variant) hit bitmaps of a
+// batched search, each covering numWindows global windows.
+func newBatchBitmaps(bq *BatchQuery, numWindows int) [][][]bool {
+	bitmaps := make([][][]bool, len(bq.Queries))
+	for mi, q := range bq.Queries {
+		bitmaps[mi] = make([][]bool, len(q.Residues))
+		for vi := range q.Residues {
+			bitmaps[mi][vi] = make([]bool, numWindows)
+		}
+	}
+	return bitmaps
+}
+
+// assembleBatchResults converts kernel output into per-member
+// IndexResults (hit maps plus candidates unless the member is HitsOnly)
+// and returns the batch-total stats for the engine's cumulative counter.
+func assembleBatchResults(bq *BatchQuery, bitmaps [][][]bool, memberStats []Stats) ([]*IndexResult, Stats) {
+	var total Stats
+	out := make([]*IndexResult, len(bq.Queries))
+	for mi, q := range bq.Queries {
+		ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues)), Stats: memberStats[mi]}
+		for vi, res := range q.Residues {
+			ir.Hits[res] = bitmaps[mi][vi]
+		}
+		if !q.HitsOnly {
+			ir.Candidates = Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
+		}
+		total.add(ir.Stats)
+		out[mi] = ir
+	}
+	return out, total
+}
+
+// searchChunkRangeBatch is the batched CPU kernel: one pass over chunks
+// [lo, hi) evaluating every (member, variant) pair per chunk, so each
+// ciphertext chunk is walked once per batch instead of once per query,
+// and members that share a pattern ciphertext (pointer identity after
+// DedupPatterns) share its homomorphic sum. bitmaps[m][v] is member m's
+// bitmap for its variant v (global window indexing); memberStats[m]
+// accumulates the work member m caused — a shared sum is accounted to
+// the member that computed it first, so the per-member stats add up to
+// the batch total.
+func searchChunkRangeBatch(ev *bfv.Evaluator, scratch *bfv.Ciphertext, db *EncryptedDB, bq *BatchQuery, lo, hi int, bitmaps [][][]bool, memberStats []Stats) error {
+	n := ev.Params().N
+	// Per-chunk sum cache: keys[i] is the pattern whose chunk sum lives
+	// in sums[i]. The slab is reused across chunks, so the kernel's only
+	// steady-state allocations are first-round slab growth. Lookups are a
+	// linear pointer scan — the cache never exceeds the batch's
+	// (member × variant) count, which is small.
+	var (
+		keys []*bfv.Ciphertext
+		sums []ring.Poly
+	)
+	for j := lo; j < hi; j++ {
+		keys = keys[:0]
+		for mi, q := range bq.Queries {
+			for vi, res := range q.Residues {
+				psi := PatternPhase(n, j, res, q.YBits)
+				pattern, ok := q.Patterns[psi]
+				if !ok {
+					return errMissingPhase(psi)
+				}
+				var c0 ring.Poly
+				for k, key := range keys {
+					if key == pattern {
+						c0 = sums[k]
+						break
+					}
+				}
+				if c0 == nil {
+					if err := ev.AddInto(db.Chunks[j], pattern, scratch); err != nil {
+						return err
+					}
+					memberStats[mi].HomAdds++
+					if len(keys) == len(sums) {
+						sums = append(sums, make(ring.Poly, n))
+					}
+					c0 = sums[len(keys)]
+					copy(c0, scratch.C[0])
+					keys = append(keys, pattern)
+				}
+				// Index generation against this member's token, exactly as
+				// in the single-query kernel.
+				tok := q.Tokens[res][j]
+				bm := bitmaps[mi][vi]
+				base := j * n
+				for i, v := range c0 {
+					if v == tok[i] {
+						bm[base+i] = true
+					}
+				}
+				memberStats[mi].CoeffCompares += int64(n)
+			}
+		}
+	}
+	return nil
+}

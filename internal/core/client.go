@@ -340,6 +340,15 @@ func (c *Client) ExtractHits(q *Query, sr *SearchResult) HitBitmaps {
 	return hits
 }
 
+// CandidateWireBytes is the width of one candidate offset on the wire:
+// internal/proto ships candidates as 4-byte little-endian values, and
+// any engine that accounts host-transfer volume (the SSD controller's
+// HostBytesOut) must use the same constant so stats match the bytes
+// actually moved. It lives in core rather than proto because the SSD
+// simulator cannot import proto (proto links the engine registry, which
+// links the SSD).
+const CandidateWireBytes = 4
+
 // Candidates converts hit bitmaps into candidate occurrence offsets: every
 // aligned offset whose full windows are all hits. See DESIGN.md on boundary
 // bits: candidates agree with the query on every full window; up to 15 bits

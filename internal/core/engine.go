@@ -233,5 +233,26 @@ func (e *SerialEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	return ir, nil
 }
 
+// SearchAndIndexBatch implements BatchSearcher: one pass over the
+// database evaluating every member per chunk (searchChunkRangeBatch),
+// instead of one pass per member.
+func (e *SerialEngine) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, error) {
+	if err := bq.validate(e.db); err != nil {
+		return nil, err
+	}
+	numChunks := len(e.db.Chunks)
+	bitmaps := newBatchBitmaps(bq, numChunks*e.params.N)
+	memberStats := make([]Stats, len(bq.Queries))
+	scratch := newScratch(e.params)
+	if err := searchChunkRangeBatch(e.ev, scratch, e.db, bq, 0, numChunks, bitmaps, memberStats); err != nil {
+		return nil, err
+	}
+	results, total := assembleBatchResults(bq, bitmaps, memberStats)
+	e.record(total)
+	return results, nil
+}
+
+var _ BatchSearcher = (*SerialEngine)(nil)
+
 // Describe implements Engine.
 func (e *SerialEngine) Describe() string { return EngineSerial }

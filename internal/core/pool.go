@@ -47,10 +47,28 @@ type poolCall struct {
 	stats    Stats
 }
 
-// poolBatch is one unit of queued work: chunks [lo, hi) of one variant.
+// poolBatchCall is the shared state of one SearchAndIndexBatch
+// invocation. Jobs are chunk ranges covering every (member, variant)
+// pair, so the per-chunk pattern-sum reuse of the batched kernel happens
+// inside each job.
+type poolBatchCall struct {
+	bq      *BatchQuery
+	db      *EncryptedDB
+	bitmaps [][][]bool // [member][variant], global window indexing
+	pending sync.WaitGroup
+
+	mu       sync.Mutex
+	firstErr error
+	stats    []Stats // per member
+}
+
+// poolBatch is one unit of queued work: chunks [lo, hi) of one variant
+// (call) or of every member of a batched search (bcall). Exactly one of
+// call/bcall is set.
 type poolBatch struct {
 	call    *poolCall
 	variant int // index into q.Residues
+	bcall   *poolBatchCall
 	lo, hi  int
 }
 
@@ -81,6 +99,20 @@ func (e *PoolEngine) worker() {
 	ev := bfv.NewEvaluator(e.params)
 	scratch := newScratch(e.params)
 	for b := range e.jobs {
+		if bc := b.bcall; bc != nil {
+			local := make([]Stats, len(bc.bq.Queries))
+			err := searchChunkRangeBatch(ev, scratch, bc.db, bc.bq, b.lo, b.hi, bc.bitmaps, local)
+			bc.mu.Lock()
+			if err != nil && bc.firstErr == nil {
+				bc.firstErr = err
+			}
+			for mi := range local {
+				bc.stats[mi].add(local[mi])
+			}
+			bc.mu.Unlock()
+			bc.pending.Done()
+			continue
+		}
 		c := b.call
 		res := c.q.Residues[b.variant]
 		st, err := searchChunkRange(ev, scratch, c.db, c.q, res, b.lo, b.hi, c.bitmaps[b.variant])
@@ -155,6 +187,52 @@ func (e *PoolEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	e.record(ir.Stats)
 	return ir, nil
 }
+
+// SearchAndIndexBatch implements BatchSearcher: chunk-range jobs that
+// each evaluate every member over their range, so workers amortise one
+// chunk walk across the whole batch while the ranges still spread over
+// the pool.
+func (e *PoolEngine) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, error) {
+	if err := bq.validate(e.db); err != nil {
+		return nil, err
+	}
+	if len(bq.Queries) == 0 {
+		return nil, nil
+	}
+	numChunks := len(e.db.Chunks)
+	c := &poolBatchCall{
+		bq:      bq,
+		db:      e.db,
+		bitmaps: newBatchBitmaps(bq, numChunks*e.params.N),
+		stats:   make([]Stats, len(bq.Queries)),
+	}
+	// Jobs split by chunk ranges only: members and variants iterate
+	// inside each job so the per-chunk sum cache sees the whole batch.
+	batch := e.batchSize(numChunks, 1)
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return nil, fmt.Errorf("core: pool engine is closed")
+	}
+	for lo := 0; lo < numChunks; lo += batch {
+		hi := lo + batch
+		if hi > numChunks {
+			hi = numChunks
+		}
+		c.pending.Add(1)
+		e.jobs <- poolBatch{bcall: c, lo: lo, hi: hi}
+	}
+	e.closeMu.RUnlock()
+	c.pending.Wait()
+	if c.firstErr != nil {
+		return nil, c.firstErr
+	}
+	results, total := assembleBatchResults(bq, c.bitmaps, c.stats)
+	e.record(total)
+	return results, nil
+}
+
+var _ BatchSearcher = (*PoolEngine)(nil)
 
 // Describe implements Engine.
 func (e *PoolEngine) Describe() string {

@@ -116,6 +116,13 @@ func (s *Server) SearchAndIndex(q *Query) (*IndexResult, error) {
 	return s.engine.SearchAndIndex(q)
 }
 
+// SearchAndIndexBatch runs every member of bq through the server's
+// engine in one batched pass where the engine supports it (sequentially
+// otherwise), returning one IndexResult per member in member order.
+func (s *Server) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, error) {
+	return SearchBatch(s.engine, bq)
+}
+
 func (s *Server) checkQuery(q *Query) error {
 	return validateSearchQuery(s.db, q, false)
 }

@@ -164,6 +164,72 @@ func (e *ShardedEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	return ir, nil
 }
 
+// SearchAndIndexBatch implements BatchSearcher: every shard receives a
+// sub-batch of per-member sub-queries and runs it through its own batch
+// path (native or sequential), then hit bitmaps merge back per member at
+// global offsets. Pattern ciphertext pointers are shared between member
+// queries and their shard sub-queries, so the batch-level dedup carries
+// into every shard's kernel.
+func (e *ShardedEngine) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, error) {
+	if err := bq.validate(e.db); err != nil {
+		return nil, err
+	}
+	n := e.params.N
+	type shardResult struct {
+		irs []*IndexResult
+		err error
+	}
+	results := make([]shardResult, len(e.shards))
+	var wg sync.WaitGroup
+	for i, sh := range e.shards {
+		wg.Add(1)
+		go func(i int, sh *engineShard) {
+			defer wg.Done()
+			subs := make([]*Query, len(bq.Queries))
+			for mi, q := range bq.Queries {
+				subs[mi] = shardQuery(q, n, sh)
+			}
+			// No re-dedup: shardQuery reuses the members' pattern
+			// pointers, so shared patterns stay pointer-shared.
+			results[i].irs, results[i].err = SearchBatch(sh.engine, &BatchQuery{Queries: subs})
+		}(i, sh)
+	}
+	wg.Wait()
+
+	numWindows := len(e.db.Chunks) * n
+	out := make([]*IndexResult, len(bq.Queries))
+	for mi, q := range bq.Queries {
+		ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues))}
+		for _, res := range q.Residues {
+			ir.Hits[res] = make([]bool, numWindows)
+		}
+		out[mi] = ir
+	}
+	var total Stats
+	for i, sh := range e.shards {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, results[i].err)
+		}
+		for mi := range bq.Queries {
+			sub := results[i].irs[mi]
+			out[mi].Stats.add(sub.Stats)
+			for res, bm := range sub.Hits {
+				copy(out[mi].Hits[res][sh.lo*n:sh.hi*n], bm)
+			}
+		}
+	}
+	for mi, q := range bq.Queries {
+		if !q.HitsOnly {
+			out[mi].Candidates = Candidates(out[mi].Hits, q.DBBitLen, q.YBits, q.AlignBits)
+		}
+		total.add(out[mi].Stats)
+	}
+	e.record(total)
+	return out, nil
+}
+
+var _ BatchSearcher = (*ShardedEngine)(nil)
+
 // Describe implements Engine, e.g. "sharded[0:3]=serial [3:6]=serial".
 func (e *ShardedEngine) Describe() string {
 	var b strings.Builder

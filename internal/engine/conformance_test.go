@@ -126,6 +126,96 @@ func TestEngineConformance(t *testing.T) {
 	}
 }
 
+// TestEngineBatchConformance proves the batch pipeline's correctness
+// contract on every engine configuration: SearchAndIndexBatch (or the
+// sequential fallback SearchBatch dispatches to) returns bitmaps and
+// candidates identical to per-member SearchAndIndex calls on the same
+// engine. The batch mixes member lengths and includes a duplicate of
+// member 0 prepared separately, so pattern dedup across members is
+// exercised, and the serial engine must demonstrably save homomorphic
+// additions from it.
+func TestEngineBatchConformance(t *testing.T) {
+	v := conformanceVectors[1] // chunk-boundary: multi-chunk database
+	cfg := core.Config{Params: bfv.ParamsToy(), AlignBits: v.align, Mode: core.ModeSeededMatch}
+	client, err := core.NewClient(cfg, rng.NewSourceFromString("batch-conf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, v.dbBytes)
+	rng.NewSourceFromString("batch-conf-data").Bytes(data)
+	for _, o := range v.plants {
+		for j := 0; j < v.queryBits; j++ {
+			mathutil.SetBit(data, o+j, mathutil.GetBit(v.query, j))
+		}
+	}
+	edb, err := client.EncryptDatabase(data, v.dbBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepare := func(pat []byte, bits int) *core.Query {
+		q, err := client.PrepareQuery(pat, bits, v.dbBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	members := []*core.Query{
+		prepare(v.query, v.queryBits),
+		prepare([]byte{0x0F, 0xF0, 0x55, 0xAA}, 32),
+		prepare(v.query, v.queryBits), // duplicate content, separate ciphertexts
+	}
+	bq := core.NewBatchQuery(members...)
+
+	for _, spec := range conformanceSpecs {
+		eng, err := BuildWith(cfg.Params, edb, spec, ssd.TestConfig(), ssd.SoftwareTransposition)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		label := fmt.Sprintf("%s (%s)", spec, eng.Describe())
+		irs, err := core.SearchBatch(eng, bq)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", label, err)
+		}
+		if len(irs) != len(members) {
+			t.Fatalf("%s: %d results for %d members", label, len(irs), len(members))
+		}
+		var batchAdds, seqAdds int
+		for mi, q := range members {
+			want, err := eng.SearchAndIndex(q)
+			if err != nil {
+				t.Fatalf("%s: member %d: %v", label, mi, err)
+			}
+			got := irs[mi]
+			if !intsEqual(got.Candidates, want.Candidates) {
+				t.Fatalf("%s: member %d: batch candidates %v != sequential %v", label, mi, got.Candidates, want.Candidates)
+			}
+			for res, bm := range want.Hits {
+				gbm := got.Hits[res]
+				if len(gbm) != len(bm) {
+					t.Fatalf("%s: member %d residue %d: bitmap length %d != %d", label, mi, res, len(gbm), len(bm))
+				}
+				for w := range bm {
+					if bm[w] != gbm[w] {
+						t.Fatalf("%s: member %d residue %d window %d: batch differs from sequential", label, mi, res, w)
+					}
+				}
+			}
+			batchAdds += got.Stats.HomAdds
+			seqAdds += want.Stats.HomAdds
+		}
+		// Member 2 duplicates member 0, so batched CPU engines must do
+		// strictly less homomorphic work than the sequential runs.
+		if _, native := eng.(core.BatchSearcher); native && spec.Kind != core.EngineSSD && batchAdds >= seqAdds {
+			t.Fatalf("%s: batch did %d HomAdds, sequential %d — pattern dedup saved nothing", label, batchAdds, seqAdds)
+		}
+		if closer, ok := eng.(interface{ Close() error }); ok {
+			if err := closer.Close(); err != nil {
+				t.Fatalf("%s: close: %v", label, err)
+			}
+		}
+	}
+}
+
 // TestEngineStatsAccumulate checks the cumulative Stats contract across
 // repeated searches for each substrate.
 func TestEngineStatsAccumulate(t *testing.T) {

@@ -1,0 +1,206 @@
+// Batch wire messages: MsgBatchQuery carries N independent queries
+// against one named database in a single request, and MsgBatchResult
+// returns the per-member candidate lists. Pattern ciphertexts — by far
+// the heaviest part of a query — are deduplicated into a shared pool on
+// the wire: each distinct ciphertext travels once and members reference
+// it by pool index. Dedup keys are encoded bytes, which is sound because
+// the encoders are deterministic (maps are emitted in sorted key order).
+// Decoding shares pool entries by pointer, so the server-side batch
+// kernels get their pointer-identity sum reuse for free.
+
+package proto
+
+import (
+	"fmt"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/ring"
+)
+
+// EncodeNamedBatchQuery frames a batch of queries addressed to a named
+// database: name, shared pattern pool, then per-member metadata with
+// pool references and match tokens.
+func EncodeNamedBatchQuery(name string, bq *core.BatchQuery, p bfv.Params) []byte {
+	var b buffer
+	b.putString(name)
+	qb := p.QBytes()
+
+	// Build the pattern pool in first-appearance order (members in input
+	// order, phases sorted), so the batch encoding is as deterministic as
+	// the single-query one.
+	poolIndex := make(map[string]int)
+	var pool []string // encoded ciphertexts
+	memberRefs := make([]map[int]int, len(bq.Queries))
+	for mi, q := range bq.Queries {
+		memberRefs[mi] = make(map[int]int, len(q.Patterns))
+		for _, psi := range sortedKeys(q.Patterns) {
+			var cb buffer
+			cb.putCiphertext(q.Patterns[psi], qb)
+			key := string(cb.data)
+			idx, ok := poolIndex[key]
+			if !ok {
+				idx = len(pool)
+				poolIndex[key] = idx
+				pool = append(pool, key)
+			}
+			memberRefs[mi][psi] = idx
+		}
+	}
+	b.putInt(len(pool))
+	for _, enc := range pool {
+		b.data = append(b.data, enc...)
+	}
+
+	b.putInt(len(bq.Queries))
+	for mi, q := range bq.Queries {
+		b.putInt(q.YBits)
+		b.putInt(q.AlignBits)
+		b.putInt(q.DBBitLen)
+		b.putInt(q.NumChunks)
+		b.putInt(len(q.Residues))
+		for _, r := range q.Residues {
+			b.putInt(r)
+		}
+		b.putInt(len(q.Patterns))
+		for _, psi := range sortedKeys(q.Patterns) {
+			b.putInt(psi)
+			b.putInt(memberRefs[mi][psi])
+		}
+		b.putInt(len(q.Tokens))
+		for _, res := range sortedKeys(q.Tokens) {
+			toks := q.Tokens[res]
+			b.putInt(res)
+			b.putInt(len(toks))
+			for _, tok := range toks {
+				b.putPoly(tok, qb)
+			}
+		}
+	}
+	return b.data
+}
+
+// DecodeNamedBatchQuery is the inverse of EncodeNamedBatchQuery. Members
+// referencing the same pool entry share one *bfv.Ciphertext.
+func DecodeNamedBatchQuery(data []byte, p bfv.Params) (string, *core.BatchQuery, error) {
+	b := buffer{data: data}
+	name, err := b.string()
+	if err != nil {
+		return "", nil, err
+	}
+	qb := p.QBytes()
+	npool, err := b.count(8) // a ciphertext encodes at least two length words
+	if err != nil {
+		return "", nil, err
+	}
+	pool := make([]*bfv.Ciphertext, npool)
+	for i := range pool {
+		if pool[i], err = b.ciphertext(qb); err != nil {
+			return "", nil, err
+		}
+	}
+	nmem, err := b.count(28) // seven 4-byte words minimum per member
+	if err != nil {
+		return "", nil, err
+	}
+	queries := make([]*core.Query, nmem)
+	for mi := range queries {
+		q := &core.Query{Patterns: map[int]*bfv.Ciphertext{}}
+		if q.YBits, err = b.int(); err != nil {
+			return "", nil, err
+		}
+		if q.AlignBits, err = b.int(); err != nil {
+			return "", nil, err
+		}
+		if q.DBBitLen, err = b.int(); err != nil {
+			return "", nil, err
+		}
+		if q.NumChunks, err = b.int(); err != nil {
+			return "", nil, err
+		}
+		nres, err := b.count(4)
+		if err != nil {
+			return "", nil, err
+		}
+		q.Residues = make([]int, nres)
+		for i := range q.Residues {
+			if q.Residues[i], err = b.int(); err != nil {
+				return "", nil, err
+			}
+		}
+		npat, err := b.count(8) // psi word + pool-index word
+		if err != nil {
+			return "", nil, err
+		}
+		for i := 0; i < npat; i++ {
+			psi, err := b.int()
+			if err != nil {
+				return "", nil, err
+			}
+			idx, err := b.int()
+			if err != nil {
+				return "", nil, err
+			}
+			if idx < 0 || idx >= len(pool) {
+				return "", nil, fmt.Errorf("proto: batch member %d references pattern pool entry %d of %d", mi, idx, len(pool))
+			}
+			q.Patterns[psi] = pool[idx]
+		}
+		ntok, err := b.count(8) // residue word + token-count word
+		if err != nil {
+			return "", nil, err
+		}
+		if ntok > 0 {
+			q.Tokens = make(map[int][]ring.Poly, ntok)
+		}
+		for i := 0; i < ntok; i++ {
+			res, err := b.int()
+			if err != nil {
+				return "", nil, err
+			}
+			cnt, err := b.count(4)
+			if err != nil {
+				return "", nil, err
+			}
+			toks := make([]ring.Poly, cnt)
+			for j := range toks {
+				if toks[j], err = b.poly(qb); err != nil {
+					return "", nil, err
+				}
+			}
+			q.Tokens[res] = toks
+		}
+		queries[mi] = q
+	}
+	return name, &core.BatchQuery{Queries: queries}, nil
+}
+
+// EncodeBatchResult serialises per-member candidate offsets, in member
+// order. Like EncodeResult, it rejects offsets the 4-byte encoding
+// cannot represent.
+func EncodeBatchResult(results [][]int) ([]byte, error) {
+	var b buffer
+	b.putInt(len(results))
+	for mi, candidates := range results {
+		if err := b.putCandidates(candidates); err != nil {
+			return nil, fmt.Errorf("proto: batch member %d: %w", mi, err)
+		}
+	}
+	return b.data, nil
+}
+
+// DecodeBatchResult is the inverse of EncodeBatchResult.
+func DecodeBatchResult(data []byte) ([][]int, error) {
+	b := buffer{data: data}
+	n, err := b.count(4) // one count word minimum per member
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, n)
+	for i := range out {
+		if out[i], err = b.candidates(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

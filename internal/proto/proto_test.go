@@ -2,6 +2,7 @@ package proto
 
 import (
 	"bytes"
+	"math"
 	"net"
 	"testing"
 
@@ -103,8 +104,12 @@ func TestQueryRoundtrip(t *testing.T) {
 }
 
 func TestResultRoundtrip(t *testing.T) {
-	in := []int{0, 16, 1024, 99999}
-	out, err := DecodeResult(EncodeResult(in))
+	in := []int{0, 16, 1024, 99999, math.MaxUint32}
+	enc, err := EncodeResult(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeResult(enc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,9 +121,138 @@ func TestResultRoundtrip(t *testing.T) {
 			t.Fatal("values lost")
 		}
 	}
-	empty, err := DecodeResult(EncodeResult(nil))
+	encEmpty, err := EncodeResult(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := DecodeResult(encEmpty)
 	if err != nil || len(empty) != 0 {
 		t.Fatal("empty result roundtrip failed")
+	}
+}
+
+// TestEncodeResultRejectsOverflow: offsets past the 4-byte wire encoding
+// must fail loudly instead of truncating to the wrong position.
+func TestEncodeResultRejectsOverflow(t *testing.T) {
+	for _, bad := range [][]int{{math.MaxUint32 + 1}, {-1}, {0, 1 << 40}} {
+		if _, err := EncodeResult(bad); err == nil {
+			t.Fatalf("EncodeResult(%v) accepted an unrepresentable offset", bad)
+		}
+	}
+	if _, err := EncodeBatchResult([][]int{{0}, {math.MaxUint32 + 1}}); err == nil {
+		t.Fatal("EncodeBatchResult accepted an unrepresentable offset")
+	}
+}
+
+// TestEncodeQueryDeterministic: the same query must encode to the same
+// bytes run to run (maps are emitted sorted), including across a
+// decode/re-encode cycle — batch dedup and caching key on encodings.
+func TestEncodeQueryDeterministic(t *testing.T) {
+	p := bfv.ParamsToy()
+	client, err := core.NewClient(core.Config{Params: p, Mode: core.ModeSeededMatch, AlignBits: 1}, rng.NewSourceFromString("det"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AlignBits 1 yields many residues, patterns and token rows — plenty
+	// of map entries whose iteration order could leak.
+	q, err := client.PrepareQuery([]byte{0xAB, 0xCD}, 16, 1280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeQuery(q, p)
+	for i := 0; i < 5; i++ {
+		if !bytes.Equal(EncodeQuery(q, p), enc) {
+			t.Fatal("EncodeQuery is not byte-stable across runs")
+		}
+	}
+	back, err := DecodeQuery(enc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeQuery(back, p), enc) {
+		t.Fatal("decode/re-encode changed the byte encoding")
+	}
+}
+
+// TestBatchQueryRoundtrip: members survive the pooled batch encoding,
+// and members sharing pattern content come back sharing pool pointers.
+func TestBatchQueryRoundtrip(t *testing.T) {
+	p := bfv.ParamsToy()
+	client, err := core.NewClient(core.Config{Params: p, Mode: core.ModeSeededMatch}, rng.NewSourceFromString("proto-batch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := client.PrepareQuery([]byte{0xAB, 0xCD, 0xEF}, 24, 1280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := client.PrepareQuery([]byte{0x01, 0x02, 0x03, 0x04}, 32, 1280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, err := client.PrepareQuery([]byte{0xAB, 0xCD, 0xEF}, 24, 1280) // same content as q1
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq := &core.BatchQuery{Queries: []*core.Query{q1, q2, q3}}
+	enc := EncodeNamedBatchQuery("corpus", bq, p)
+
+	// The pool must collapse q3's patterns into q1's: the batch encoding
+	// must be well under the cost of shipping all three members whole.
+	single := len(EncodeNamedQuery("corpus", q1, p)) + len(EncodeNamedQuery("corpus", q2, p)) + len(EncodeNamedQuery("corpus", q3, p))
+	if len(enc) >= single {
+		t.Fatalf("batch encoding (%d bytes) saved nothing over %d separate bytes", len(enc), single)
+	}
+
+	name, back, err := DecodeNamedBatchQuery(enc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "corpus" || len(back.Queries) != 3 {
+		t.Fatalf("name %q, %d members", name, len(back.Queries))
+	}
+	r := p.Ring()
+	for mi, q := range bq.Queries {
+		got := back.Queries[mi]
+		if got.YBits != q.YBits || got.AlignBits != q.AlignBits || got.DBBitLen != q.DBBitLen || got.NumChunks != q.NumChunks {
+			t.Fatalf("member %d metadata lost", mi)
+		}
+		if len(got.Patterns) != len(q.Patterns) || len(got.Tokens) != len(q.Tokens) {
+			t.Fatalf("member %d structure lost", mi)
+		}
+		for psi, ct := range q.Patterns {
+			for c := range ct.C {
+				if !r.Equal(got.Patterns[psi].C[c], ct.C[c]) {
+					t.Fatalf("member %d pattern %d corrupted", mi, psi)
+				}
+			}
+		}
+		for res, toks := range q.Tokens {
+			for j := range toks {
+				if !r.Equal(got.Tokens[res][j], toks[j]) {
+					t.Fatalf("member %d token %d/%d corrupted", mi, res, j)
+				}
+			}
+		}
+	}
+	// Decoded members with identical pattern content share pool pointers.
+	for psi, ct := range back.Queries[0].Patterns {
+		if back.Queries[2].Patterns[psi] != ct {
+			t.Fatalf("pattern %d not pool-shared between duplicate members", psi)
+		}
+	}
+
+	// Batch results round-trip per member.
+	resEnc, err := EncodeBatchResult([][]int{{8, 1024}, nil, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DecodeBatchResult(resEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || len(res[0]) != 2 || res[0][1] != 1024 || len(res[1]) != 0 || res[2][0] != 0 {
+		t.Fatalf("batch result round-trip lost data: %v", res)
 	}
 }
 
@@ -210,5 +344,91 @@ func TestEndToEndOverTCP(t *testing.T) {
 	q.Tokens = nil
 	if _, err := conn.Search("corpus", q); err == nil {
 		t.Fatal("tokenless remote search accepted")
+	}
+}
+
+// TestBatchSearchOverTCP runs a batched multi-query search over a real
+// socket and checks every member against its local sequential result.
+func TestBatchSearchOverTCP(t *testing.T) {
+	p := bfv.ParamsToy()
+	cfg := core.Config{Params: p, AlignBits: 8, Mode: core.ModeSeededMatch}
+	client, err := core.NewClient(cfg, rng.NewSourceFromString("tcp-batch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 192)
+	rng.NewSourceFromString("tcp-batch-data").Bytes(data)
+	patterns := [][]byte{
+		{0xFE, 0xED, 0xFA, 0xCE},
+		{0x10, 0x20, 0x30, 0x40},
+		{0xFE, 0xED, 0xFA, 0xCE}, // duplicate: exercises the wire pattern pool
+	}
+	for j := 0; j < 32; j++ {
+		mathutil.SetBit(data, 200+j, mathutil.GetBit(patterns[0], j))
+		mathutil.SetBit(data, 512+j, mathutil.GetBit(patterns[1], j))
+	}
+	db, err := client.EncryptDatabase(data, 1536)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv := NewServerWithSpec(p, core.EngineSpec{Kind: core.EnginePool, Workers: 2})
+	go srv.Serve(l) //nolint:errcheck // returns when the listener closes
+	defer srv.Store().Close()
+
+	conn, err := Dial(l.Addr().String(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.UploadDB("corpus", core.EngineSpec{}, db); err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]*core.Query, len(patterns))
+	for i, pat := range patterns {
+		if queries[i], err = client.PrepareQuery(pat, 32, 1536); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := conn.SearchBatch("corpus", queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	local := core.NewServer(p, db)
+	for i, q := range queries {
+		ir, err := local.SearchAndIndex(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results[i]) != len(ir.Candidates) {
+			t.Fatalf("member %d: remote %v != local %v", i, results[i], ir.Candidates)
+		}
+		for j := range results[i] {
+			if results[i][j] != ir.Candidates[j] {
+				t.Fatalf("member %d: remote %v != local %v", i, results[i], ir.Candidates)
+			}
+		}
+	}
+	// The batch must have counted every member in the listing stats.
+	infos, err := conn.ListDBs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Searches != len(queries) {
+		t.Fatalf("listing %+v: want %d searches", infos, len(queries))
+	}
+
+	// A tokenless member must be rejected client-side.
+	queries[1].Tokens = nil
+	if _, err := conn.SearchBatch("corpus", queries); err == nil {
+		t.Fatal("tokenless batch member accepted")
 	}
 }

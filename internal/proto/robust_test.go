@@ -28,6 +28,8 @@ func TestDecodeGarbageNeverPanics(t *testing.T) {
 			_, _ = DecodeResult(buf)
 			_, _, _, _ = DecodeUploadDB(buf, p)
 			_, _, _ = DecodeNamedQuery(buf, p)
+			_, _, _ = DecodeNamedBatchQuery(buf, p)
+			_, _ = DecodeBatchResult(buf)
 			_, _ = DecodeDBList(buf)
 			_, _ = DecodeName(buf)
 		}()

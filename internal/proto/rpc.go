@@ -90,7 +90,29 @@ func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, erro
 		if err != nil {
 			return 0, nil, fmt.Errorf("search: %w", err)
 		}
-		return MsgResult, EncodeResult(ir.Candidates), nil
+		body, err := EncodeResult(ir.Candidates)
+		if err != nil {
+			return 0, nil, fmt.Errorf("encoding result: %w", err)
+		}
+		return MsgResult, body, nil
+	case MsgBatchQuery:
+		name, bq, err := DecodeNamedBatchQuery(payload, s.params)
+		if err != nil {
+			return 0, nil, fmt.Errorf("decoding batch query: %w", err)
+		}
+		irs, err := s.store.SearchBatch(name, bq)
+		if err != nil {
+			return 0, nil, fmt.Errorf("batch search: %w", err)
+		}
+		results := make([][]int, len(irs))
+		for i, ir := range irs {
+			results[i] = ir.Candidates
+		}
+		body, err := EncodeBatchResult(results)
+		if err != nil {
+			return 0, nil, fmt.Errorf("encoding batch result: %w", err)
+		}
+		return MsgBatchResult, body, nil
 	case MsgListDBs:
 		return MsgDBList, EncodeDBList(s.store.List()), nil
 	case MsgDropDB:
@@ -163,6 +185,44 @@ func (c *Conn) Search(name string, q *core.Query) ([]int, error) {
 	switch reply {
 	case MsgResult:
 		return DecodeResult(body)
+	case MsgError:
+		return nil, fmt.Errorf("proto: server error: %s", body)
+	default:
+		return nil, fmt.Errorf("proto: unexpected reply type %d", reply)
+	}
+}
+
+// SearchBatch runs N independent searches against the named database in
+// a single round trip and returns per-query candidate offsets in input
+// order. The server amortises one pass over the database chunks across
+// the whole batch (where its engine supports batching), and pattern
+// ciphertexts shared between queries travel and evaluate once — batch a
+// burst of concurrent queries against a hot database instead of looping
+// over Search. Every query must carry match tokens
+// (core.ModeSeededMatch).
+func (c *Conn) SearchBatch(name string, queries []*core.Query) ([][]int, error) {
+	for i, q := range queries {
+		if q.Tokens == nil {
+			return nil, fmt.Errorf("proto: batch member %d: remote search requires match tokens (core.ModeSeededMatch)", i)
+		}
+	}
+	// No client-side pointer dedup needed: the wire encoder pools
+	// patterns by content.
+	bq := &core.BatchQuery{Queries: queries}
+	reply, body, err := c.roundTrip(MsgBatchQuery, EncodeNamedBatchQuery(name, bq, c.params))
+	if err != nil {
+		return nil, err
+	}
+	switch reply {
+	case MsgBatchResult:
+		results, err := DecodeBatchResult(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(results) != len(queries) {
+			return nil, fmt.Errorf("proto: server returned %d results for %d queries", len(results), len(queries))
+		}
+		return results, nil
 	case MsgError:
 		return nil, fmt.Errorf("proto: server error: %s", body)
 	default:

@@ -140,6 +140,23 @@ func (st *Store) Search(name string, q *core.Query) (*core.IndexResult, error) {
 	return d.engine.SearchAndIndex(q)
 }
 
+// SearchBatch runs a batch of queries against the named database under
+// its read lock, through the engine's batched pass where it has one.
+// Each member counts as one search in the listing stats.
+func (st *Store) SearchBatch(name string, bq *core.BatchQuery) ([]*core.IndexResult, error) {
+	d, err := st.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.engine == nil {
+		return nil, fmt.Errorf("proto: database %q was dropped", name)
+	}
+	d.searches.Add(int64(len(bq.Queries)))
+	return core.SearchBatch(d.engine, bq)
+}
+
 // Drop removes the named database and tears its engine down.
 func (st *Store) Drop(name string) error {
 	st.mu.Lock()

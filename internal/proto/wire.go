@@ -14,6 +14,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/core"
@@ -24,14 +26,16 @@ import (
 // one server process serves many tenants; MsgListDBs/MsgDropDB manage
 // the namespace.
 const (
-	MsgUploadDB byte = 1 // name + engine spec + database -> MsgAck
-	MsgQuery    byte = 2 // name + query -> MsgResult
-	MsgResult   byte = 3
-	MsgError    byte = 4
-	MsgAck      byte = 5
-	MsgListDBs  byte = 6 // empty -> MsgDBList
-	MsgDBList   byte = 7
-	MsgDropDB   byte = 8 // name -> MsgAck
+	MsgUploadDB    byte = 1 // name + engine spec + database -> MsgAck
+	MsgQuery       byte = 2 // name + query -> MsgResult
+	MsgResult      byte = 3
+	MsgError       byte = 4
+	MsgAck         byte = 5
+	MsgListDBs     byte = 6 // empty -> MsgDBList
+	MsgDBList      byte = 7
+	MsgDropDB      byte = 8 // name -> MsgAck
+	MsgBatchQuery  byte = 9 // name + batch of queries -> MsgBatchResult
+	MsgBatchResult byte = 10
 )
 
 // MaxNameLen bounds database names on the wire.
@@ -133,14 +137,16 @@ func (b *buffer) string() (string, error) {
 
 // count reads an element count and validates it against the remaining
 // payload (each element encodes at least minElemBytes), so forged counts
-// cannot force huge allocations.
+// cannot force huge allocations. The bound is compared via division:
+// n*minElemBytes can overflow int on 32-bit platforms, which would let a
+// forged count slip past a multiplication-based check.
 func (b *buffer) count(minElemBytes int) (int, error) {
 	n, err := b.int()
 	if err != nil {
 		return 0, err
 	}
 	remaining := len(b.data) - b.off
-	if n < 0 || n*minElemBytes > remaining {
+	if n < 0 || n > remaining/minElemBytes {
 		return 0, fmt.Errorf("proto: count %d exceeds remaining payload %d", n, remaining)
 	}
 	return n, nil
@@ -238,8 +244,22 @@ func DecodeDB(data []byte, p bfv.Params) (*core.EncryptedDB, error) {
 	return db, nil
 }
 
+// sortedKeys returns a map's integer keys in ascending order, so map
+// iteration order never leaks into wire bytes.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 // EncodeQuery serialises a query (patterns and, when present, match
-// tokens).
+// tokens). Map-backed sections (patterns, tokens) are emitted in sorted
+// key order, so the same query always encodes to the same bytes — the
+// property batch-level deduplication and any caching keyed on encodings
+// rely on.
 func EncodeQuery(q *core.Query, p bfv.Params) []byte {
 	var b buffer
 	b.putInt(q.YBits)
@@ -252,12 +272,13 @@ func EncodeQuery(q *core.Query, p bfv.Params) []byte {
 	}
 	qb := p.QBytes()
 	b.putInt(len(q.Patterns))
-	for psi, ct := range q.Patterns {
+	for _, psi := range sortedKeys(q.Patterns) {
 		b.putInt(psi)
-		b.putCiphertext(ct, qb)
+		b.putCiphertext(q.Patterns[psi], qb)
 	}
 	b.putInt(len(q.Tokens))
-	for res, toks := range q.Tokens {
+	for _, res := range sortedKeys(q.Tokens) {
+		toks := q.Tokens[res]
 		b.putInt(res)
 		b.putInt(len(toks))
 		for _, tok := range toks {
@@ -452,28 +473,61 @@ func DecodeDBList(data []byte) ([]DBInfo, error) {
 	return infos, nil
 }
 
-// EncodeResult serialises candidate offsets.
-func EncodeResult(candidates []int) []byte {
-	var b buffer
+// CandidateWireBytes is the wire width of one candidate offset (4-byte
+// little-endian). Defined in core so that engines accounting
+// host-transfer bytes (the SSD controller) agree with the encoding
+// without importing proto.
+const CandidateWireBytes = core.CandidateWireBytes
+
+// putCandidates appends a candidate-offset list: a count plus
+// CandidateWireBytes-wide offsets. Offsets the encoding cannot
+// represent are rejected rather than silently truncated — on databases
+// past 2^32 bits a truncated offset would point at the wrong data.
+func (b *buffer) putCandidates(candidates []int) error {
 	b.putInt(len(candidates))
 	for _, c := range candidates {
+		if c < 0 || c > math.MaxUint32 {
+			return fmt.Errorf("proto: candidate offset %d does not fit the %d-byte wire encoding", c, CandidateWireBytes)
+		}
 		b.putUint32(uint32(c))
 	}
-	return b.data
+	return nil
 }
 
-// DecodeResult is the inverse of EncodeResult.
-func DecodeResult(data []byte) ([]int, error) {
-	b := buffer{data: data}
-	n, err := b.count(4)
+// candidates is the inverse of putCandidates. Offsets a 32-bit int
+// cannot hold are rejected rather than wrapped negative, mirroring the
+// encode-side bound.
+func (b *buffer) candidates() ([]int, error) {
+	n, err := b.count(CandidateWireBytes)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]int, n)
 	for i := range out {
-		if out[i], err = b.int(); err != nil {
+		v, err := b.uint32()
+		if err != nil {
 			return nil, err
 		}
+		if int(v) < 0 {
+			return nil, fmt.Errorf("proto: candidate offset %d overflows int on this platform", v)
+		}
+		out[i] = int(v)
 	}
 	return out, nil
+}
+
+// EncodeResult serialises candidate offsets. It fails on offsets above
+// math.MaxUint32 instead of corrupting them.
+func EncodeResult(candidates []int) ([]byte, error) {
+	var b buffer
+	if err := b.putCandidates(candidates); err != nil {
+		return nil, err
+	}
+	return b.data, nil
+}
+
+// DecodeResult is the inverse of EncodeResult.
+func DecodeResult(data []byte) ([]int, error) {
+	b := buffer{data: data}
+	return b.candidates()
 }

@@ -65,6 +65,17 @@ func (e *Engine) SearchAndIndex(q *core.Query) (*core.IndexResult, error) {
 	return ir, nil
 }
 
+// SearchAndIndexBatch implements core.BatchSearcher via the generic
+// sequential fallback: one drive executes one command stream, so batch
+// members serialise on the controller exactly as separate searches
+// would. Batch-level parallelism across drives comes from sharding
+// (one drive per shard under core.ShardedEngine).
+func (e *Engine) SearchAndIndexBatch(bq *core.BatchQuery) ([]*core.IndexResult, error) {
+	return core.SearchAndIndexBatchSequential(e, bq)
+}
+
+var _ core.BatchSearcher = (*Engine)(nil)
+
 // Stats implements core.Engine.
 func (e *Engine) Stats() core.Stats {
 	e.mu.Lock()

@@ -121,7 +121,7 @@ func (s *SSD) CMSearch(q *core.Query) (*core.IndexResult, error) {
 	}
 	if !q.HitsOnly {
 		ir.Candidates = core.Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
-		s.ctrl.HostBytesOut += int64(len(ir.Candidates) * 8)
+		s.ctrl.HostBytesOut += int64(len(ir.Candidates) * core.CandidateWireBytes)
 	}
 	ir.Stats.HomAdds = s.ctrl.HomAdds - startAdds
 	ir.Stats.CoeffCompares = int64(s.ctrl.IndexGenPages-startPages) * int64(s.cfg.Geometry.PageBits()/2)
