@@ -285,27 +285,18 @@ func BenchmarkEndToEndSearchIFP(b *testing.B) {
 	}
 }
 
-// BenchmarkEngine runs one fixed workload (4 KiB database, 32-bit
-// query, byte alignment, seeded-match mode) through every execution
-// engine, so BENCH snapshots track the per-substrate trajectory the way
-// the paper compares CPU, PuM and flash on one algorithm.
+// BenchmarkEngine runs the standard fixed workload (4 KiB database,
+// 32-bit query, byte alignment, seeded-match mode — the same fixture
+// cmbench -json measures, see harness.NewEngineBenchFixture) through
+// every execution engine, so BENCH snapshots track the per-substrate
+// trajectory the way the paper compares CPU, PuM and flash on one
+// algorithm.
 func BenchmarkEngine(b *testing.B) {
-	cfg := Config{Params: ParamsPaper(), AlignBits: 8, Mode: ModeSeededMatch}
-	client, err := NewClient(cfg, NewSeed("engine-bench"))
+	cfg, db, q, err := harness.NewEngineBenchFixture()
 	if err != nil {
 		b.Fatal(err)
 	}
-	data := make([]byte, 4096)
-	NewSeed("engine-bench-data").Bytes(data)
-	db, err := client.EncryptDatabase(data, len(data)*8)
-	if err != nil {
-		b.Fatal(err)
-	}
-	q, err := client.PrepareQuery([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 32, len(data)*8)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for _, specStr := range []string{"serial", "pool", "ssd", "pool/shards=2"} {
+	for _, specStr := range harness.DefaultEngineBenchSpecs() {
 		b.Run(specStr, func(b *testing.B) {
 			spec, err := ParseEngineSpec(specStr)
 			if err != nil {
@@ -315,11 +306,17 @@ func BenchmarkEngine(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.SearchAndIndex(q); err != nil {
+				ir, err := eng.SearchAndIndex(q)
+				if err != nil {
 					b.Fatal(err)
 				}
+				// Recycle the hit bitmaps the way the wire server does
+				// after encoding, so the steady state exercises the
+				// bitset pool rather than the allocator.
+				ir.Release()
 			}
 			b.StopTimer()
 			if closer, ok := eng.(interface{ Close() error }); ok {

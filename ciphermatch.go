@@ -73,6 +73,9 @@ type (
 	IndexMode = core.IndexMode
 	// HitBitmaps maps shift residues to window-hit bitmaps.
 	HitBitmaps = core.HitBitmaps
+	// Bitset is the packed window-hit bitmap: one bit per 16-bit
+	// database window, written directly by the fused search kernels.
+	Bitset = core.Bitset
 
 	// Engine is the backend-agnostic execution interface: the serial CPU
 	// path, the worker-pool path, chunk-range sharded compositions and
@@ -195,6 +198,10 @@ func ReadPatternFile(path string) ([][]byte, error) {
 	}
 	return patterns, nil
 }
+
+// NewBitset returns a zeroed window-hit bitset of n bits, drawing
+// storage from the shared bitset pool.
+func NewBitset(n int) *Bitset { return core.NewBitset(n) }
 
 // Candidates converts hit bitmaps into candidate occurrence offsets.
 func Candidates(hits HitBitmaps, dbBits, queryBits, alignBits int) []int {

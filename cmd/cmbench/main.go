@@ -6,8 +6,12 @@
 //
 //	cmbench                 # run every experiment
 //	cmbench -exp fig7,fig10 # run selected experiments
+//	cmbench -exp none       # run no experiments (with -json: bench only)
 //	cmbench -list           # list experiment IDs
 //	cmbench -csv results/   # also write one CSV per experiment
+//	cmbench -json out.json  # also run the per-engine search benchmark
+//	                        # and write machine-readable results
+//	                        # (ns/op, HomAdds/s, allocs/op per engine)
 package main
 
 import (
@@ -22,9 +26,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs, 'all', or 'none'")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	jsonOut := flag.String("json", "", "file to write machine-readable engine benchmark results (e.g. BENCH_results.json)")
 	flag.Parse()
 
 	if *list {
@@ -35,9 +40,11 @@ func main() {
 	}
 
 	var selected []harness.Experiment
-	if *exp == "all" {
+	switch *exp {
+	case "all":
 		selected = harness.All()
-	} else {
+	case "none":
+	default:
 		for _, id := range strings.Split(*exp, ",") {
 			e, ok := harness.ByID(strings.TrimSpace(id))
 			if !ok {
@@ -68,7 +75,37 @@ func main() {
 			}
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeEngineBench(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cmbench: engine benchmark: %v\n", err)
+			exitCode = 1
+		}
+	}
 	os.Exit(exitCode)
+}
+
+// writeEngineBench runs the per-engine search benchmark (the same
+// workload as the BenchmarkEngine sub-benchmarks) and writes the
+// machine-readable report, so successive PRs can diff ns/op, HomAdds/s
+// and allocs/op per engine kind.
+func writeEngineBench(path string) error {
+	report, err := harness.RunEngineBench(harness.DefaultEngineBenchSpecs())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	for _, e := range report.Engines {
+		fmt.Printf("engine-bench %-16s %12.0f ns/op %14.0f HomAdds/s %6d allocs/op\n",
+			e.Engine, e.NsPerOp, e.HomAddsPerSec, e.AllocsPerOp)
+	}
+	return f.Close()
 }
 
 func writeCSV(dir string, tbl *harness.Table) error {

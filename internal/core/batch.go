@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/ring"
@@ -29,11 +30,13 @@ type BatchQuery struct {
 }
 
 // NewBatchQuery assembles a batch and canonicalises shared pattern
-// ciphertexts across members (DedupPatterns), so batch kernels evaluate
-// each distinct pattern once per chunk.
+// ciphertexts and match-token polynomials across members
+// (DedupPatterns, DedupTokens), so batch kernels evaluate each distinct
+// (pattern, token) combination once per chunk.
 func NewBatchQuery(queries ...*Query) *BatchQuery {
 	bq := &BatchQuery{Queries: queries}
 	bq.DedupPatterns()
+	bq.DedupTokens()
 	return bq
 }
 
@@ -78,6 +81,65 @@ func ciphertextKey(ct *bfv.Ciphertext) string {
 		}
 	}
 	return string(buf)
+}
+
+// DedupTokens rewrites content-identical match-token polynomials
+// across members (and residues) to one shared ring.Poly, and returns
+// the number of distinct tokens. Queries prepared from the same seed
+// for the same content carry identical tokens, so after deduplication
+// the batch kernel can recognise "same pattern, same token" pairs by
+// pointer identity and evaluate each such class once per chunk — the
+// comparison half of the dedup that DedupPatterns provides for the
+// addition half.
+// Tokens are keyed by a 64-bit content hash with a full coefficient
+// compare only inside a hash bucket, so deduplication never copies the
+// token stream (a wire batch can carry members × residues × chunks
+// token polynomials; building string keys would double the decode
+// allocations).
+func (bq *BatchQuery) DedupTokens() int {
+	buckets := make(map[uint64][]ring.Poly)
+	distinct := 0
+	for _, q := range bq.Queries {
+		for _, toks := range q.Tokens {
+			for i, tok := range toks {
+				h := polyHash(tok)
+				shared := false
+				for _, cand := range buckets[h] {
+					if polysEqual(cand, tok) {
+						toks[i] = cand
+						shared = true
+						break
+					}
+				}
+				if !shared {
+					buckets[h] = append(buckets[h], tok)
+					distinct++
+				}
+			}
+		}
+	}
+	return distinct
+}
+
+// polyHash is FNV-1a over the coefficients.
+func polyHash(p ring.Poly) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range p {
+		h = (h ^ c) * 1099511628211
+	}
+	return h
+}
+
+func polysEqual(a, b ring.Poly) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // validate checks every member against the database, so a batch fails
@@ -130,14 +192,14 @@ func SearchAndIndexBatchSequential(e Engine, bq *BatchQuery) ([]*IndexResult, er
 	return out, nil
 }
 
-// newBatchBitmaps allocates the per-(member, variant) hit bitmaps of a
+// newBatchBitmaps allocates the per-(member, variant) hit bitsets of a
 // batched search, each covering numWindows global windows.
-func newBatchBitmaps(bq *BatchQuery, numWindows int) [][][]bool {
-	bitmaps := make([][][]bool, len(bq.Queries))
+func newBatchBitmaps(bq *BatchQuery, numWindows int) [][]*Bitset {
+	bitmaps := make([][]*Bitset, len(bq.Queries))
 	for mi, q := range bq.Queries {
-		bitmaps[mi] = make([][]bool, len(q.Residues))
+		bitmaps[mi] = make([]*Bitset, len(q.Residues))
 		for vi := range q.Residues {
-			bitmaps[mi][vi] = make([]bool, numWindows)
+			bitmaps[mi][vi] = NewBitset(numWindows)
 		}
 	}
 	return bitmaps
@@ -146,7 +208,7 @@ func newBatchBitmaps(bq *BatchQuery, numWindows int) [][][]bool {
 // assembleBatchResults converts kernel output into per-member
 // IndexResults (hit maps plus candidates unless the member is HitsOnly)
 // and returns the batch-total stats for the engine's cumulative counter.
-func assembleBatchResults(bq *BatchQuery, bitmaps [][][]bool, memberStats []Stats) ([]*IndexResult, Stats) {
+func assembleBatchResults(bq *BatchQuery, bitmaps [][]*Bitset, memberStats []Stats) ([]*IndexResult, Stats) {
 	var total Stats
 	out := make([]*IndexResult, len(bq.Queries))
 	for mi, q := range bq.Queries {
@@ -163,63 +225,130 @@ func assembleBatchResults(bq *BatchQuery, bitmaps [][][]bool, memberStats []Stat
 	return out, total
 }
 
+// batchScratch is the reusable per-chunk state of the batched kernel:
+// one entry per evaluation class — a distinct (pattern, token) pair —
+// holding the pattern, the token's identity (its first-coefficient
+// address), and, once evaluated, the bitset words the class's hit bits
+// were written into. pairKey records each (member, variant) pair's
+// class from the counting pass. Lookups are a linear pointer scan —
+// the class set never exceeds the batch's (member × variant) count,
+// which is small. Scratches recycle through a sync.Pool so concurrent
+// batch jobs on a loaded server stop allocating slabs entirely.
+type batchScratch struct {
+	patterns []*bfv.Ciphertext
+	tokIDs   []*uint64
+	words    [][]uint64
+	pairKey  []int
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return &batchScratch{} }}
+
+// reset prepares the scratch for a new chunk.
+func (s *batchScratch) reset() {
+	s.patterns = s.patterns[:0]
+	s.tokIDs = s.tokIDs[:0]
+	s.words = s.words[:0]
+	s.pairKey = s.pairKey[:0]
+}
+
+// scrub drops all ciphertext/bitset references across the backing
+// arrays before pooling, so a cached scratch never pins query data.
+func (s *batchScratch) scrub() {
+	clear(s.patterns[:cap(s.patterns)])
+	clear(s.tokIDs[:cap(s.tokIDs)])
+	clear(s.words[:cap(s.words)])
+	s.reset()
+}
+
+// class returns the evaluation-class index of (pattern, tok), adding a
+// new class when unseen.
+func (s *batchScratch) class(pattern *bfv.Ciphertext, tok ring.Poly) int {
+	id := &tok[0]
+	for k := range s.patterns {
+		if s.patterns[k] == pattern && s.tokIDs[k] == id {
+			return k
+		}
+	}
+	s.patterns = append(s.patterns, pattern)
+	s.tokIDs = append(s.tokIDs, id)
+	s.words = append(s.words, nil)
+	return len(s.patterns) - 1
+}
+
 // searchChunkRangeBatch is the batched CPU kernel: one pass over chunks
 // [lo, hi) evaluating every (member, variant) pair per chunk, so each
-// ciphertext chunk is walked once per batch instead of once per query,
-// and members that share a pattern ciphertext (pointer identity after
-// DedupPatterns) share its homomorphic sum. bitmaps[m][v] is member m's
-// bitmap for its variant v (global window indexing); memberStats[m]
-// accumulates the work member m caused — a shared sum is accounted to
-// the member that computed it first, so the per-member stats add up to
-// the batch total.
-func searchChunkRangeBatch(ev *bfv.Evaluator, scratch *bfv.Ciphertext, db *EncryptedDB, bq *BatchQuery, lo, hi int, bitmaps [][][]bool, memberStats []Stats) error {
-	n := ev.Params().N
-	// Per-chunk sum cache: keys[i] is the pattern whose chunk sum lives
-	// in sums[i]. The slab is reused across chunks, so the kernel's only
-	// steady-state allocations are first-round slab growth. Lookups are a
-	// linear pointer scan — the cache never exceeds the batch's
-	// (member × variant) count, which is small.
-	var (
-		keys []*bfv.Ciphertext
-		sums []ring.Poly
-	)
+// ciphertext chunk is walked once per batch instead of once per query.
+//
+// Pairs are grouped into evaluation classes by (pattern, token)
+// pointer identity — after DedupPatterns/DedupTokens, the same hot
+// query issued by several users of one data owner collapses to one
+// class. Each class runs the fused ring.AddCmpBits exactly once per
+// chunk, writing hit bits into the first pair's bitset; every other
+// pair in the class receives the identical verdict as a word-wise OR
+// of that 64-windows-per-word range — ~n/64 word operations instead of
+// n fused add-compares. Only first ciphertext components are touched;
+// no sum is ever materialised.
+//
+// bitmaps[m][v] is member m's bitset for its variant v (global window
+// indexing); memberStats[m] accumulates the work member m caused — a
+// class's homomorphic addition is accounted to the member that
+// evaluated it first, so the per-member stats add up to the batch
+// total.
+func searchChunkRangeBatch(r *ring.Ring, db *EncryptedDB, bq *BatchQuery, lo, hi int, bitmaps [][]*Bitset, memberStats []Stats) error {
+	n := r.N()
+	// Word-aligned chunk ranges let a class's verdict be copied as
+	// whole words. All bfv parameter sets have n ≥ 64 (a multiple of
+	// 64); for smaller rings classes simply re-run the fused kernel.
+	aligned := n%64 == 0
+	scratch := batchScratchPool.Get().(*batchScratch)
+	defer func() {
+		scratch.scrub()
+		batchScratchPool.Put(scratch)
+	}()
 	for j := lo; j < hi; j++ {
-		keys = keys[:0]
-		for mi, q := range bq.Queries {
-			for vi, res := range q.Residues {
+		scratch.reset()
+		chunkC0 := db.Chunks[j].C[0]
+		base := j * n
+		for _, q := range bq.Queries {
+			for _, res := range q.Residues {
 				psi := PatternPhase(n, j, res, q.YBits)
 				pattern, ok := q.Patterns[psi]
 				if !ok {
 					return errMissingPhase(psi)
 				}
-				var c0 ring.Poly
-				for k, key := range keys {
-					if key == pattern {
-						c0 = sums[k]
-						break
-					}
-				}
-				if c0 == nil {
-					if err := ev.AddInto(db.Chunks[j], pattern, scratch); err != nil {
-						return err
-					}
+				scratch.pairKey = append(scratch.pairKey, scratch.class(pattern, q.Tokens[res][j]))
+			}
+		}
+		pair := 0
+		for mi, q := range bq.Queries {
+			for vi, res := range q.Residues {
+				k := scratch.pairKey[pair]
+				pair++
+				words := bitmaps[mi][vi].Words()
+				switch {
+				case scratch.words[k] == nil:
+					// First pair of the class: fused add-compare, bits
+					// written straight into this pair's bitset.
+					r.AddCmpBits(chunkC0, scratch.patterns[k].C[0], q.Tokens[res][j], words, base)
+					scratch.words[k] = words
 					memberStats[mi].HomAdds++
-					if len(keys) == len(sums) {
-						sums = append(sums, make(ring.Poly, n))
+				case aligned:
+					// Identical (pattern, token) ⇒ identical verdict:
+					// OR the evaluated word range across.
+					w0, w1 := base>>6, (base+n)>>6
+					src := scratch.words[k][w0:w1]
+					dst := words[w0:w1]
+					for i, w := range src {
+						if w != 0 {
+							dst[i] |= w
+						}
 					}
-					c0 = sums[len(keys)]
-					copy(c0, scratch.C[0])
-					keys = append(keys, pattern)
-				}
-				// Index generation against this member's token, exactly as
-				// in the single-query kernel.
-				tok := q.Tokens[res][j]
-				bm := bitmaps[mi][vi]
-				base := j * n
-				for i, v := range c0 {
-					if v == tok[i] {
-						bm[base+i] = true
-					}
+				default:
+					// Sub-word ring degree: chunk bit ranges share words,
+					// so re-run the fused kernel (a real addition — count
+					// it) instead of a word-copy.
+					r.AddCmpBits(chunkC0, scratch.patterns[k].C[0], q.Tokens[res][j], words, base)
+					memberStats[mi].HomAdds++
 				}
 				memberStats[mi].CoeffCompares += int64(n)
 			}

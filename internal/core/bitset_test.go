@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"ciphermatch/internal/rng"
+)
+
+func randomBitset(t *testing.T, src *rng.Source, n int) (*Bitset, []bool) {
+	t.Helper()
+	b := NewBitset(n)
+	ref := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if src.Uniform(3) == 0 {
+			b.Set(i)
+			ref[i] = true
+		}
+	}
+	return b, ref
+}
+
+func TestBitsetSetGetCount(t *testing.T) {
+	src := rng.NewSourceFromString("bitset")
+	for _, n := range []int{1, 63, 64, 65, 128, 1000, 4096} {
+		b, ref := randomBitset(t, src, n)
+		ones := 0
+		for i, want := range ref {
+			if b.Get(i) != want {
+				t.Fatalf("n=%d bit %d: got %v, want %v", n, i, b.Get(i), want)
+			}
+			if want {
+				ones++
+			}
+		}
+		if b.OnesCount() != ones {
+			t.Fatalf("n=%d: OnesCount=%d, want %d", n, b.OnesCount(), ones)
+		}
+		if b.None() != (ones == 0) {
+			t.Fatalf("n=%d: None=%v with %d ones", n, b.None(), ones)
+		}
+		if b.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, b.Len())
+		}
+	}
+}
+
+func TestBitsetAllSet(t *testing.T) {
+	src := rng.NewSourceFromString("bitset-allset")
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + int(src.Uniform(300))
+		b, ref := randomBitset(t, src, n)
+		lo := int(src.Uniform(uint64(n + 1)))
+		hi := lo + int(src.Uniform(uint64(n-lo+1)))
+		want := true
+		for w := lo; w < hi; w++ {
+			if !ref[w] {
+				want = false
+				break
+			}
+		}
+		if got := b.AllSet(lo, hi); got != want {
+			t.Fatalf("n=%d AllSet(%d,%d)=%v, want %v", n, lo, hi, got, want)
+		}
+	}
+	b := NewBitset(64)
+	if b.AllSet(0, 65) {
+		t.Fatal("AllSet accepted out-of-range hi")
+	}
+	if b.AllSet(-1, 4) {
+		t.Fatal("AllSet accepted negative lo")
+	}
+	if !b.AllSet(5, 5) {
+		t.Fatal("AllSet on empty range should be vacuous")
+	}
+}
+
+func TestBitsetNextSet(t *testing.T) {
+	b := NewBitset(200)
+	for _, i := range []int{0, 5, 63, 64, 127, 199} {
+		b.Set(i)
+	}
+	want := []int{0, 5, 63, 64, 127, 199}
+	got := []int{}
+	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	if b.NextSet(200) != -1 {
+		t.Fatal("NextSet past the end should return -1")
+	}
+}
+
+func TestBitsetOrAt(t *testing.T) {
+	src := rng.NewSourceFromString("bitset-orat")
+	for _, off := range []int{0, 64, 128, 7, 93} { // aligned and unaligned
+		dst := NewBitset(512)
+		pre, preRef := randomBitset(t, src, 512)
+		dst.OrAt(pre, 0)
+		sub, subRef := randomBitset(t, src, 192)
+		dst.OrAt(sub, off)
+		for i := 0; i < 512; i++ {
+			want := preRef[i]
+			if i >= off && i < off+192 && subRef[i-off] {
+				want = true
+			}
+			if dst.Get(i) != want {
+				t.Fatalf("off=%d bit %d: got %v, want %v", off, i, dst.Get(i), want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OrAt out of range did not panic")
+		}
+	}()
+	NewBitset(64).OrAt(NewBitset(64), 1)
+}
+
+// TestBitsetPoolReuse checks that a released bitset comes back zeroed
+// regardless of its previous contents.
+func TestBitsetPoolReuse(t *testing.T) {
+	b := NewBitset(256)
+	for i := 0; i < 256; i++ {
+		b.Set(i)
+	}
+	b.Release()
+	for trial := 0; trial < 10; trial++ {
+		c := NewBitset(128)
+		if !c.None() {
+			t.Fatal("pooled bitset not zeroed")
+		}
+		c.Release()
+	}
+}
+
+// TestCandidatesEmptyFastPath pins the early exit: all-empty bitmaps
+// must produce no candidates without scanning, and a single planted
+// window run must still be found.
+func TestCandidatesEmptyFastPath(t *testing.T) {
+	hits := HitBitmaps{0: NewBitset(64), 8: NewBitset(64)}
+	if got := Candidates(hits, 1024, 32, 8); got != nil {
+		t.Fatalf("empty bitmaps produced candidates %v", got)
+	}
+	// Windows 2,3 set for residue 0: offset 32 has full windows [2,4).
+	hits[0].Set(2)
+	hits[0].Set(3)
+	got := Candidates(hits, 1024, 32, 8)
+	found := false
+	for _, o := range got {
+		if o == 32 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted candidate 32 missing from %v", got)
+	}
+}

@@ -106,6 +106,70 @@ type EncryptedDB struct {
 	Chunks      []*bfv.Ciphertext
 	BitLen      int
 	NumSegments int
+
+	// arena is the contiguous backing store the chunk polynomials view
+	// into after Compact: all first components first, then all second
+	// components, so the seeded-match kernels — which read only C[0] —
+	// stream one sequential region instead of pointer-chasing per-chunk
+	// allocations. nil for databases assembled chunk by chunk.
+	arena []uint64
+}
+
+// Compact repacks the chunk polynomials into one contiguous arena.
+// Layout: chunk j's first component occupies arena[j*n:(j+1)*n] and its
+// second component arena[(numChunks+j)*n:...], i.e. a C0 plane followed
+// by a C1 plane. A seeded-match search touches only the C0 plane —
+// exactly half the ciphertext bytes — as one forward stream. Chunk
+// slices become views into the arena (full-capacity slicing keeps
+// appends impossible), so ShardDB sub-views stay contiguous too.
+// Databases whose chunks are not uniform 2-component ciphertexts (e.g.
+// hostile wire input) are left as-is.
+func (db *EncryptedDB) Compact() {
+	if len(db.Chunks) == 0 || db.arena != nil {
+		return
+	}
+	n := 0
+	for _, ct := range db.Chunks {
+		if ct == nil || len(ct.C) != 2 {
+			return
+		}
+		if n == 0 {
+			n = len(ct.C[0])
+		}
+		if len(ct.C[0]) != n || len(ct.C[1]) != n {
+			return
+		}
+	}
+	numChunks := len(db.Chunks)
+	arena := make([]uint64, 2*numChunks*n)
+	for j, ct := range db.Chunks {
+		c0 := arena[j*n : (j+1)*n : (j+1)*n]
+		c1 := arena[(numChunks+j)*n : (numChunks+j+1)*n : (numChunks+j+1)*n]
+		copy(c0, ct.C[0])
+		copy(c1, ct.C[1])
+		ct.C[0], ct.C[1] = c0, c1
+	}
+	db.arena = arena
+}
+
+// Compacted reports whether the chunk polynomials share one contiguous
+// arena.
+func (db *EncryptedDB) Compacted() bool { return db.arena != nil }
+
+// NewCompactDB allocates an EncryptedDB of numChunks two-component
+// chunks whose polynomials are zeroed views into a pre-built arena
+// (same layout as Compact). Decoders fill the coefficients in place,
+// so a database upload never holds loose per-chunk allocations and the
+// arena at the same time.
+func NewCompactDB(n, numChunks int) *EncryptedDB {
+	arena := make([]uint64, 2*numChunks*n)
+	db := &EncryptedDB{Chunks: make([]*bfv.Ciphertext, numChunks), arena: arena}
+	for j := range db.Chunks {
+		c0 := arena[j*n : (j+1)*n : (j+1)*n]
+		c1 := arena[(numChunks+j)*n : (numChunks+j+1)*n : (numChunks+j+1)*n]
+		db.Chunks[j] = &bfv.Ciphertext{C: []ring.Poly{c0, c1}}
+	}
+	return db
 }
 
 // SizeBytes returns the encrypted footprint, the quantity of Fig. 2(a).
@@ -146,6 +210,7 @@ func (c *Client) EncryptDatabase(data []byte, bitLen int) (*EncryptedDB, error) 
 	for j, pt := range pts {
 		db.Chunks[j] = c.encryptor.Encrypt(pt, c.dbChunkSource(j))
 	}
+	db.Compact()
 	return db, nil
 }
 
@@ -313,27 +378,36 @@ func (c *Client) buildTokens(q *Query) error {
 	return nil
 }
 
-// HitBitmaps maps a variant residue to its global window-hit bitmap.
-type HitBitmaps map[int][]bool
+// HitBitmaps maps a variant residue to its global window-hit bitmap,
+// packed 64 windows per word (see Bitset).
+type HitBitmaps map[int]*Bitset
+
+// Release returns every bitmap's storage to the bitset pool. Callers
+// done with a result (e.g. the wire server after encoding candidates)
+// release it so steady-state searches reuse bitmap storage instead of
+// allocating.
+func (h HitBitmaps) Release() {
+	for res, bm := range h {
+		bm.Release()
+		delete(h, res)
+	}
+}
 
 // ExtractHits decrypts the per-(variant, chunk) result ciphertexts of a
 // search and marks every window whose coefficient equals the match value
-// t-1 (ModeClientDecrypt).
+// t-1 (ModeClientDecrypt). Index generation runs through the same packed
+// compare kernel the server engines use (ring.CmpEqScalarBits), so both
+// index-generation modes produce bit-identical Bitsets.
 func (c *Client) ExtractHits(q *Query, sr *SearchResult) HitBitmaps {
 	p := c.cfg.Params
 	matchVal := p.T - 1
 	hits := make(HitBitmaps, len(q.Residues))
 	numWindows := q.NumChunks * p.N
 	for vi, s := range q.Residues {
-		bm := make([]bool, numWindows)
+		bm := NewBitset(numWindows)
 		for j, ct := range sr.Results[vi] {
 			pt := c.decryptor.Decrypt(ct)
-			base := j * p.N
-			for i, v := range pt.Coeffs {
-				if v == matchVal {
-					bm[base+i] = true
-				}
-			}
+			ring.CmpEqScalarBits(pt.Coeffs, matchVal, bm.Words(), j*p.N)
 		}
 		hits[s] = bm
 	}
@@ -353,26 +427,37 @@ const CandidateWireBytes = 4
 // aligned offset whose full windows are all hits. See DESIGN.md on boundary
 // bits: candidates agree with the query on every full window; up to 15 bits
 // on each side are unverified.
+//
+// The scan is word-level over the packed bitmaps (Bitset.AllSet checks 64
+// windows per comparison with an early exit on the first miss), and any
+// residue whose bitmap has no set bit at all is dropped up front — when
+// every residue is empty (the common case for a rare pattern) the offset
+// loop never runs at all.
 func Candidates(hits HitBitmaps, dbBits, yBits, alignBits int) []int {
+	// Residue-indexed bitmap table: one modulo + array load per offset
+	// instead of per-offset map lookups; empty bitmaps stay nil.
+	bmAt := make([]*Bitset, yBits)
+	live := 0
+	for res, bm := range hits {
+		if res >= 0 && res < yBits && !bm.None() {
+			bmAt[res] = bm
+			live++
+		}
+	}
+	if live == 0 {
+		return nil
+	}
 	var out []int
 	for o := 0; o+yBits <= dbBits; o += alignBits {
-		s := o % yBits
-		bm, ok := hits[s]
-		if !ok {
+		bm := bmAt[o%yBits]
+		if bm == nil {
 			continue
 		}
 		w0, w1 := FullWindows(o, yBits)
 		if w1 == w0 {
 			continue // undetectable at this offset
 		}
-		all := true
-		for w := w0; w < w1; w++ {
-			if w >= len(bm) || !bm[w] {
-				all = false
-				break
-			}
-		}
-		if all {
+		if bm.AllSet(w0, w1) {
 			out = append(out, o)
 		}
 	}

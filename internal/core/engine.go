@@ -125,42 +125,32 @@ func validateSearchQuery(db *EncryptedDB, q *Query, needTokens bool) error {
 	return nil
 }
 
-// newScratch allocates the 2-component ciphertext an engine worker adds
-// into (bfv.Evaluator.AddInto), so the hot loop never allocates.
-func newScratch(params bfv.Params) *bfv.Ciphertext {
-	r := params.Ring()
-	return &bfv.Ciphertext{C: []ring.Poly{r.NewPoly(), r.NewPoly()}}
-}
-
 // searchChunkRange is the shared CPU kernel: for one shift variant it
-// executes the homomorphic additions and index generation over chunks
-// [lo, hi) of db, setting hit bits in bm (global window indexing). All
-// CPU engines — serial, pool, sharded — are schedules over this kernel,
-// mirroring how the paper maps one algorithm onto different substrates.
-func searchChunkRange(ev *bfv.Evaluator, scratch *bfv.Ciphertext, db *EncryptedDB, q *Query, res, lo, hi int, bm []bool) (Stats, error) {
+// executes the fused homomorphic addition + index generation over
+// chunks [lo, hi) of db, setting hit bits in bm (global window
+// indexing). All CPU engines — serial, pool, sharded — are schedules
+// over this kernel, mirroring how the paper maps one algorithm onto
+// different substrates.
+//
+// Seeded-match index generation reads only the first ciphertext
+// component, so the kernel never touches C[1] — half the ciphertext
+// bytes — and ring.AddCmpBits folds the addition and the token
+// comparison into one streaming pass with no intermediate sum store:
+// the only writes are hit bits in the packed bitset. With a compacted
+// database the reads are one sequential walk of the C0 arena plane.
+func searchChunkRange(r *ring.Ring, db *EncryptedDB, q *Query, res, lo, hi int, bm *Bitset) (Stats, error) {
 	var st Stats
-	n := ev.Params().N
+	n := r.N()
 	toks := q.Tokens[res]
+	words := bm.Words()
 	for j := lo; j < hi; j++ {
 		psi := PatternPhase(n, j, res, q.YBits)
 		pattern, ok := q.Patterns[psi]
 		if !ok {
 			return st, errMissingPhase(psi)
 		}
-		sum := scratch
-		if err := ev.AddInto(db.Chunks[j], pattern, sum); err != nil {
-			return st, err
-		}
+		r.AddCmpBits(db.Chunks[j].C[0], pattern.C[0], toks[j], words, j*n)
 		st.HomAdds++
-		// Index generation: compare the first component against the
-		// expected hit value coefficient by coefficient.
-		tok := toks[j]
-		base := j * n
-		for i, v := range sum.C[0] {
-			if v == tok[i] {
-				bm[base+i] = true
-			}
-		}
 		st.CoeffCompares += int64(n)
 	}
 	return st, nil
@@ -192,11 +182,11 @@ func (c *statCounter) Stats() Stats {
 }
 
 // SerialEngine executes searches on the calling goroutine — the paper's
-// CPU baseline. It is stateless between calls (the evaluator is shared
-// and read-only, scratch is per call), so concurrent searches are safe.
+// CPU baseline. It is stateless between calls (the ring is shared and
+// read-only), so concurrent searches are safe.
 type SerialEngine struct {
 	params bfv.Params
-	ev     *bfv.Evaluator
+	ring   *ring.Ring
 	db     *EncryptedDB
 	statCounter
 }
@@ -205,7 +195,7 @@ var _ Engine = (*SerialEngine)(nil)
 
 // NewSerialEngine creates a serial engine over an encrypted database.
 func NewSerialEngine(params bfv.Params, db *EncryptedDB) *SerialEngine {
-	return &SerialEngine{params: params, ev: bfv.NewEvaluator(params), db: db}
+	return &SerialEngine{params: params, ring: params.Ring(), db: db}
 }
 
 // SearchAndIndex implements Engine.
@@ -215,11 +205,10 @@ func (e *SerialEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	}
 	n := e.params.N
 	numWindows := len(e.db.Chunks) * n
-	scratch := newScratch(e.params)
 	ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues))}
 	for _, res := range q.Residues {
-		bm := make([]bool, numWindows)
-		st, err := searchChunkRange(e.ev, scratch, e.db, q, res, 0, len(e.db.Chunks), bm)
+		bm := NewBitset(numWindows)
+		st, err := searchChunkRange(e.ring, e.db, q, res, 0, len(e.db.Chunks), bm)
 		if err != nil {
 			return nil, err
 		}
@@ -243,8 +232,7 @@ func (e *SerialEngine) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, erro
 	numChunks := len(e.db.Chunks)
 	bitmaps := newBatchBitmaps(bq, numChunks*e.params.N)
 	memberStats := make([]Stats, len(bq.Queries))
-	scratch := newScratch(e.params)
-	if err := searchChunkRangeBatch(e.ev, scratch, e.db, bq, 0, numChunks, bitmaps, memberStats); err != nil {
+	if err := searchChunkRangeBatch(e.ring, e.db, bq, 0, numChunks, bitmaps, memberStats); err != nil {
 		return nil, err
 	}
 	results, total := assembleBatchResults(bq, bitmaps, memberStats)

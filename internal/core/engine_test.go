@@ -56,12 +56,14 @@ func assertSameResult(t *testing.T, label string, got, want *IndexResult) {
 	}
 	for res, bm := range want.Hits {
 		gbm := got.Hits[res]
-		if len(gbm) != len(bm) {
-			t.Fatalf("%s: residue %d bitmap length %d != %d", label, res, len(gbm), len(bm))
+		if gbm.Len() != bm.Len() {
+			t.Fatalf("%s: residue %d bitmap length %d != %d", label, res, gbm.Len(), bm.Len())
 		}
-		for w := range bm {
-			if bm[w] != gbm[w] {
-				t.Fatalf("%s: residue %d window %d differs", label, res, w)
+		if !gbm.Equal(bm) {
+			for w := 0; w < bm.Len(); w++ {
+				if bm.Get(w) != gbm.Get(w) {
+					t.Fatalf("%s: residue %d window %d differs", label, res, w)
+				}
 			}
 		}
 	}
@@ -164,6 +166,47 @@ func TestPoolEngineClosedRejectsSearches(t *testing.T) {
 	}
 	if _, err := pool.SearchAndIndex(q); err == nil {
 		t.Fatal("closed pool accepted a search")
+	}
+}
+
+// TestEncryptedDBArena checks the contiguous-arena invariants: a
+// client-encrypted database is compacted, chunk polynomials are views
+// into one backing array (C0 plane first), and search results over a
+// compacted database equal those over a chunk-by-chunk copy.
+func TestEncryptedDBArena(t *testing.T) {
+	cfg, edb, q, serial := engineFixture(t)
+	if !edb.Compacted() {
+		t.Fatal("EncryptDatabase did not compact the chunk polynomials")
+	}
+	n := cfg.Params.N
+	for j, ct := range edb.Chunks {
+		if len(ct.C[0]) != n || len(ct.C[1]) != n {
+			t.Fatalf("chunk %d: component lengths %d/%d after compaction", j, len(ct.C[0]), len(ct.C[1]))
+		}
+		if cap(ct.C[0]) != n || cap(ct.C[1]) != n {
+			t.Fatalf("chunk %d: arena views must be capacity-limited", j)
+		}
+	}
+	// Functional equivalence: rebuild the database without an arena and
+	// check the serial engine returns identical results.
+	loose := &EncryptedDB{BitLen: edb.BitLen, NumSegments: edb.NumSegments}
+	for _, ct := range edb.Chunks {
+		loose.Chunks = append(loose.Chunks, ct.Clone())
+	}
+	if loose.Compacted() {
+		t.Fatal("cloned chunks must not report compacted")
+	}
+	ir, err := NewSerialEngine(cfg.Params, loose).SearchAndIndex(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "loose-vs-arena", ir, serial)
+	// Compact is idempotent and tolerates odd shapes.
+	edb.Compact()
+	odd := &EncryptedDB{Chunks: []*bfv.Ciphertext{{}}}
+	odd.Compact()
+	if odd.Compacted() {
+		t.Fatal("malformed chunk must not compact")
 	}
 }
 

@@ -39,7 +39,7 @@ var _ Engine = (*PoolEngine)(nil)
 type poolCall struct {
 	q       *Query
 	db      *EncryptedDB
-	bitmaps [][]bool // per variant index, global window indexing
+	bitmaps []*Bitset // per variant index, global window indexing
 	pending sync.WaitGroup
 
 	mu       sync.Mutex
@@ -54,7 +54,7 @@ type poolCall struct {
 type poolBatchCall struct {
 	bq      *BatchQuery
 	db      *EncryptedDB
-	bitmaps [][][]bool // [member][variant], global window indexing
+	bitmaps [][]*Bitset // [member][variant], global window indexing
 	pending sync.WaitGroup
 
 	mu       sync.Mutex
@@ -91,17 +91,18 @@ func NewPoolEngine(params bfv.Params, db *EncryptedDB, workers int) *PoolEngine 
 	return e
 }
 
-// worker drains the batch queue until Close. Each worker owns its
-// evaluator and scratch ciphertext, so the hot loop never allocates and
-// never contends.
+// worker drains the batch queue until Close. The fused kernel writes
+// hit bits straight into the call's shared bitsets — chunk-range jobs
+// are word-aligned (see batchSize), so workers never touch the same
+// bitset word — and needs no scratch ciphertext at all: the hot loop
+// never allocates and never contends.
 func (e *PoolEngine) worker() {
 	defer e.wg.Done()
-	ev := bfv.NewEvaluator(e.params)
-	scratch := newScratch(e.params)
+	r := e.params.Ring()
 	for b := range e.jobs {
 		if bc := b.bcall; bc != nil {
 			local := make([]Stats, len(bc.bq.Queries))
-			err := searchChunkRangeBatch(ev, scratch, bc.db, bc.bq, b.lo, b.hi, bc.bitmaps, local)
+			err := searchChunkRangeBatch(r, bc.db, bc.bq, b.lo, b.hi, bc.bitmaps, local)
 			bc.mu.Lock()
 			if err != nil && bc.firstErr == nil {
 				bc.firstErr = err
@@ -115,7 +116,7 @@ func (e *PoolEngine) worker() {
 		}
 		c := b.call
 		res := c.q.Residues[b.variant]
-		st, err := searchChunkRange(ev, scratch, c.db, c.q, res, b.lo, b.hi, c.bitmaps[b.variant])
+		st, err := searchChunkRange(r, c.db, c.q, res, b.lo, b.hi, c.bitmaps[b.variant])
 		c.mu.Lock()
 		if err != nil && c.firstErr == nil {
 			c.firstErr = err
@@ -128,12 +129,18 @@ func (e *PoolEngine) worker() {
 
 // batchSize picks the chunk-range granularity: enough batches to keep
 // every worker busy (~4 per worker) without degenerating to one chunk
-// per batch on large databases.
+// per batch on large databases. Ranges are additionally aligned so
+// every job's bit range starts on a 64-window word boundary — at ring
+// degrees below 64 a chunk is less than one bitset word, and two
+// workers must never OR into the same word.
 func (e *PoolEngine) batchSize(numChunks, numVariants int) int {
 	total := numChunks * numVariants
 	per := total / (4 * e.workers)
 	if per < 1 {
 		per = 1
+	}
+	if align := (63 + e.params.N) / e.params.N; align > 1 {
+		per = (per + align - 1) / align * align
 	}
 	if per > numChunks {
 		per = numChunks
@@ -148,9 +155,9 @@ func (e *PoolEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	}
 	numChunks := len(e.db.Chunks)
 	numWindows := numChunks * e.params.N
-	c := &poolCall{q: q, db: e.db, bitmaps: make([][]bool, len(q.Residues))}
+	c := &poolCall{q: q, db: e.db, bitmaps: make([]*Bitset, len(q.Residues))}
 	for vi := range c.bitmaps {
-		c.bitmaps[vi] = make([]bool, numWindows)
+		c.bitmaps[vi] = NewBitset(numWindows)
 	}
 	batch := e.batchSize(numChunks, len(q.Residues))
 	// Enqueue under the read half of closeMu: Close excludes itself with

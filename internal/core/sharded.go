@@ -145,7 +145,7 @@ func (e *ShardedEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues))}
 	numWindows := len(e.db.Chunks) * n
 	for _, res := range q.Residues {
-		ir.Hits[res] = make([]bool, numWindows)
+		ir.Hits[res] = NewBitset(numWindows)
 	}
 	for i, sh := range e.shards {
 		if results[i].err != nil {
@@ -154,8 +154,9 @@ func (e *ShardedEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 		sub := results[i].ir
 		ir.Stats.add(sub.Stats)
 		for res, bm := range sub.Hits {
-			copy(ir.Hits[res][sh.lo*n:sh.hi*n], bm)
+			ir.Hits[res].OrAt(bm, sh.lo*n)
 		}
+		sub.Hits.Release() // per-shard bitmaps are transient: recycle them
 	}
 	if !q.HitsOnly {
 		ir.Candidates = Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
@@ -201,7 +202,7 @@ func (e *ShardedEngine) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, err
 	for mi, q := range bq.Queries {
 		ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues))}
 		for _, res := range q.Residues {
-			ir.Hits[res] = make([]bool, numWindows)
+			ir.Hits[res] = NewBitset(numWindows)
 		}
 		out[mi] = ir
 	}
@@ -214,8 +215,9 @@ func (e *ShardedEngine) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, err
 			sub := results[i].irs[mi]
 			out[mi].Stats.add(sub.Stats)
 			for res, bm := range sub.Hits {
-				copy(out[mi].Hits[res][sh.lo*n:sh.hi*n], bm)
+				out[mi].Hits[res].OrAt(bm, sh.lo*n)
 			}
+			sub.Hits.Release() // per-shard bitmaps are transient: recycle them
 		}
 	}
 	for mi, q := range bq.Queries {

@@ -57,7 +57,7 @@ func TestEngineConformance(t *testing.T) {
 				t.Fatal(err)
 			}
 			data := make([]byte, v.dbBytes)
-			rng.NewSourceFromString("conf-data-"+v.name).Bytes(data)
+			rng.NewSourceFromString("conf-data-" + v.name).Bytes(data)
 			for _, o := range v.plants {
 				for j := 0; j < v.queryBits; j++ {
 					mathutil.SetBit(data, o+j, mathutil.GetBit(v.query, j))
@@ -107,11 +107,11 @@ func TestEngineConformance(t *testing.T) {
 				}
 				for res, bm := range ref.Hits {
 					got := ir.Hits[res]
-					if len(got) != len(bm) {
-						t.Fatalf("%s: residue %d bitmap length %d != %d", label, res, len(got), len(bm))
+					if got.Len() != bm.Len() {
+						t.Fatalf("%s: residue %d bitmap length %d != %d", label, res, got.Len(), bm.Len())
 					}
-					for w := range bm {
-						if bm[w] != got[w] {
+					for w := 0; w < bm.Len(); w++ {
+						if bm.Get(w) != got.Get(w) {
 							t.Fatalf("%s: residue %d window %d differs from serial", label, res, w)
 						}
 					}
@@ -191,11 +191,11 @@ func TestEngineBatchConformance(t *testing.T) {
 			}
 			for res, bm := range want.Hits {
 				gbm := got.Hits[res]
-				if len(gbm) != len(bm) {
-					t.Fatalf("%s: member %d residue %d: bitmap length %d != %d", label, mi, res, len(gbm), len(bm))
+				if gbm.Len() != bm.Len() {
+					t.Fatalf("%s: member %d residue %d: bitmap length %d != %d", label, mi, res, gbm.Len(), bm.Len())
 				}
-				for w := range bm {
-					if bm[w] != gbm[w] {
+				for w := 0; w < bm.Len(); w++ {
+					if bm.Get(w) != gbm.Get(w) {
 						t.Fatalf("%s: member %d residue %d window %d: batch differs from sequential", label, mi, res, w)
 					}
 				}
@@ -207,6 +207,71 @@ func TestEngineBatchConformance(t *testing.T) {
 		// strictly less homomorphic work than the sequential runs.
 		if _, native := eng.(core.BatchSearcher); native && spec.Kind != core.EngineSSD && batchAdds >= seqAdds {
 			t.Fatalf("%s: batch did %d HomAdds, sequential %d — pattern dedup saved nothing", label, batchAdds, seqAdds)
+		}
+		if closer, ok := eng.(interface{ Close() error }); ok {
+			if err := closer.Close(); err != nil {
+				t.Fatalf("%s: close: %v", label, err)
+			}
+		}
+	}
+}
+
+// TestEngineHitsMatchClientDecrypt proves the two index-generation
+// modes agree bit for bit with the fused kernels in place: every
+// engine's seeded-match bitmaps (ring.AddCmpBits against match tokens)
+// must equal the client-decrypt bitmaps (Server.Search result
+// ciphertexts decrypted and compared against t-1 by ExtractHits). This
+// pins the fused kernel to the cryptographic ground truth, not just to
+// the other engines.
+func TestEngineHitsMatchClientDecrypt(t *testing.T) {
+	v := conformanceVectors[1] // chunk-boundary: multi-chunk database
+	cfg := core.Config{Params: bfv.ParamsToy(), AlignBits: v.align, Mode: core.ModeSeededMatch}
+	client, err := core.NewClient(cfg, rng.NewSourceFromString("decrypt-conf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, v.dbBytes)
+	rng.NewSourceFromString("decrypt-conf-data").Bytes(data)
+	for _, o := range v.plants {
+		for j := 0; j < v.queryBits; j++ {
+			mathutil.SetBit(data, o+j, mathutil.GetBit(v.query, j))
+		}
+	}
+	edb, err := client.EncryptDatabase(data, v.dbBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.PrepareQuery(v.query, v.queryBits, v.dbBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client-decrypt ground truth: homomorphic sums shipped back and
+	// decrypted, windows compared against the match value t-1.
+	server := core.NewServer(cfg.Params, edb)
+	sr, err := server.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := client.ExtractHits(q, sr)
+
+	for _, spec := range conformanceSpecs {
+		eng, err := BuildWith(cfg.Params, edb, spec, ssd.TestConfig(), ssd.SoftwareTransposition)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		label := fmt.Sprintf("%s (%s)", spec, eng.Describe())
+		ir, err := eng.SearchAndIndex(q)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if len(ir.Hits) != len(want) {
+			t.Fatalf("%s: %d bitmaps, client decrypt has %d", label, len(ir.Hits), len(want))
+		}
+		for res, wbm := range want {
+			gbm := ir.Hits[res]
+			if gbm == nil || !gbm.Equal(wbm) {
+				t.Fatalf("%s: residue %d bitmap differs from client-decrypt ExtractHits", label, res)
+			}
 		}
 		if closer, ok := eng.(interface{ Close() error }); ok {
 			if err := closer.Close(); err != nil {

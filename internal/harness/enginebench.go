@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/engine"
+	"ciphermatch/internal/rng"
+)
+
+// EngineBenchResult is one engine's measurement on the standard
+// engine-benchmark workload (4 KiB database, 32-bit query, byte
+// alignment, seeded-match mode — the same fixture as BenchmarkEngine),
+// in the machine-readable form cmbench -json persists so the kernel's
+// performance trajectory is comparable across PRs.
+type EngineBenchResult struct {
+	Engine        string  `json:"engine"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	HomAddsPerOp  int     `json:"hom_adds_per_op"`
+	HomAddsPerSec float64 `json:"hom_adds_per_sec"`
+}
+
+// EngineBenchReport is the top-level BENCH_results.json document.
+type EngineBenchReport struct {
+	GoOS     string              `json:"goos"`
+	GoArch   string              `json:"goarch"`
+	Workload string              `json:"workload"`
+	Engines  []EngineBenchResult `json:"engines"`
+}
+
+// DefaultEngineBenchSpecs mirrors the BenchmarkEngine sub-benchmarks.
+func DefaultEngineBenchSpecs() []string {
+	return []string{"serial", "pool", "ssd", "pool/shards=2"}
+}
+
+// EngineBenchWorkload describes the standard fixture in the report.
+const EngineBenchWorkload = "4KiB db, 32-bit query, align 8, seeded-match"
+
+// NewEngineBenchFixture builds the one standard engine-benchmark
+// workload — a 4 KiB database and a 32-bit byte-aligned seeded-match
+// query — shared by the in-tree BenchmarkEngine sub-benchmarks and
+// cmbench -json, so the two stay measurements of the same thing.
+func NewEngineBenchFixture() (core.Config, *core.EncryptedDB, *core.Query, error) {
+	cfg := core.Config{Params: bfv.ParamsPaper(), AlignBits: 8, Mode: core.ModeSeededMatch}
+	client, err := core.NewClient(cfg, rng.NewSourceFromString("engine-bench"))
+	if err != nil {
+		return cfg, nil, nil, err
+	}
+	data := make([]byte, 4096)
+	rng.NewSourceFromString("engine-bench-data").Bytes(data)
+	db, err := client.EncryptDatabase(data, len(data)*8)
+	if err != nil {
+		return cfg, nil, nil, err
+	}
+	q, err := client.PrepareQuery([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 32, len(data)*8)
+	if err != nil {
+		return cfg, nil, nil, err
+	}
+	return cfg, db, q, nil
+}
+
+// RunEngineBench measures SearchAndIndex throughput for every engine
+// spec on the standard workload, via testing.Benchmark, and returns one
+// result per spec.
+func RunEngineBench(specs []string) (*EngineBenchReport, error) {
+	cfg, db, q, err := NewEngineBenchFixture()
+	if err != nil {
+		return nil, err
+	}
+	report := &EngineBenchReport{
+		GoOS:     runtime.GOOS,
+		GoArch:   runtime.GOARCH,
+		Workload: EngineBenchWorkload,
+	}
+	for _, specStr := range specs {
+		spec, err := engine.Parse(specStr)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := engine.Build(cfg.Params, db, spec)
+		if err != nil {
+			return nil, err
+		}
+		// One warmup search yields the per-op operation counts.
+		warm, err := eng.SearchAndIndex(q)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s warmup: %w", specStr, err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ir, err := eng.SearchAndIndex(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ir.Release()
+			}
+		})
+		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+		out := EngineBenchResult{
+			Engine:       specStr,
+			NsPerOp:      nsPerOp,
+			AllocsPerOp:  res.AllocsPerOp(),
+			BytesPerOp:   res.AllocedBytesPerOp(),
+			HomAddsPerOp: warm.Stats.HomAdds,
+		}
+		if nsPerOp > 0 {
+			out.HomAddsPerSec = float64(warm.Stats.HomAdds) / (nsPerOp / 1e9)
+		}
+		report.Engines = append(report.Engines, out)
+		if closer, ok := eng.(interface{ Close() error }); ok {
+			_ = closer.Close()
+		}
+	}
+	return report, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *EngineBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -95,7 +95,7 @@ func DecodeNamedBatchQuery(data []byte, p bfv.Params) (string, *core.BatchQuery,
 	}
 	pool := make([]*bfv.Ciphertext, npool)
 	for i := range pool {
-		if pool[i], err = b.ciphertext(qb); err != nil {
+		if pool[i], err = b.ciphertext(qb, p.N); err != nil {
 			return "", nil, err
 		}
 	}
@@ -164,7 +164,7 @@ func DecodeNamedBatchQuery(data []byte, p bfv.Params) (string, *core.BatchQuery,
 			}
 			toks := make([]ring.Poly, cnt)
 			for j := range toks {
-				if toks[j], err = b.poly(qb); err != nil {
+				if toks[j], err = b.poly(qb, p.N); err != nil {
 					return "", nil, err
 				}
 			}
@@ -172,7 +172,12 @@ func DecodeNamedBatchQuery(data []byte, p bfv.Params) (string, *core.BatchQuery,
 		}
 		queries[mi] = q
 	}
-	return name, &core.BatchQuery{Queries: queries}, nil
+	bq := &core.BatchQuery{Queries: queries}
+	// Patterns are already pointer-shared through the wire pool, but
+	// tokens decode per member; canonicalise them so the batch kernel's
+	// (pattern, token) class dedup works on wire-decoded batches too.
+	bq.DedupTokens()
+	return name, bq, nil
 }
 
 // EncodeBatchResult serialises per-member candidate offsets, in member

@@ -33,7 +33,7 @@ func newTenant(t *testing.T, p bfv.Params, name string, spec core.EngineSpec, db
 	}
 	tn := &tenant{name: name, spec: spec}
 	tn.data = make([]byte, dbBytes)
-	rng.NewSourceFromString("data-"+name).Bytes(tn.data)
+	rng.NewSourceFromString("data-" + name).Bytes(tn.data)
 	tn.query = []byte{0xFE, 0xED, 0xFA, 0xCE}
 	for j := 0; j < 32; j++ {
 		mathutil.SetBit(tn.data, plantAt+j, mathutil.GetBit(tn.query, j))

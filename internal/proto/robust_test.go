@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/ring"
 	"ciphermatch/internal/rng"
 )
 
@@ -41,7 +42,15 @@ func TestPolyLengthLimit(t *testing.T) {
 	var b buffer
 	b.putInt(1 << 24) // absurd coefficient count
 	rb := buffer{data: b.data}
-	if _, err := rb.poly(4); err == nil {
+	if _, err := rb.poly(4, 64); err == nil {
 		t.Fatal("oversized polynomial length accepted")
+	}
+	// A wrong-but-plausible length must be rejected too: the kernels
+	// size loops and bitset writes from polynomial lengths.
+	var b2 buffer
+	b2.putPoly(make(ring.Poly, 128), 4)
+	rb2 := buffer{data: b2.data}
+	if _, err := rb2.poly(4, 64); err == nil {
+		t.Fatal("degree-mismatched polynomial accepted")
 	}
 }

@@ -91,6 +91,9 @@ func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, erro
 			return 0, nil, fmt.Errorf("search: %w", err)
 		}
 		body, err := EncodeResult(ir.Candidates)
+		// Only candidates cross the wire; recycle the hit bitmaps so the
+		// request loop's bitset storage is reused across searches.
+		ir.Release()
 		if err != nil {
 			return 0, nil, fmt.Errorf("encoding result: %w", err)
 		}
@@ -107,6 +110,7 @@ func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, erro
 		results := make([][]int, len(irs))
 		for i, ir := range irs {
 			results[i] = ir.Candidates
+			ir.Release() // candidates only; recycle the hit bitmaps
 		}
 		body, err := EncodeBatchResult(results)
 		if err != nil {

@@ -162,24 +162,42 @@ func (b *buffer) putPoly(p ring.Poly, qBytes int) {
 	}
 }
 
-func (b *buffer) poly(qBytes int) (ring.Poly, error) {
+// poly decodes a polynomial and enforces that it has exactly degree
+// coefficients: every polynomial on this wire (chunk and pattern
+// ciphertext components, match tokens) is a ring element of the
+// session's parameter set, and the search kernels size their loops and
+// bitset writes from these lengths, so a peer must not be able to
+// smuggle in oversized polynomials.
+func (b *buffer) poly(qBytes, degree int) (ring.Poly, error) {
+	out := make(ring.Poly, degree)
+	if err := b.polyInto(out, qBytes); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// polyInto decodes a polynomial into dst, whose length fixes the
+// expected coefficient count.
+func (b *buffer) polyInto(dst ring.Poly, qBytes int) error {
 	n, err := b.count(qBytes)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if n != len(dst) {
+		return fmt.Errorf("proto: polynomial has %d coefficients, ring degree is %d", n, len(dst))
 	}
 	need := n * qBytes
 	if b.off+need > len(b.data) {
-		return nil, io.ErrUnexpectedEOF
+		return io.ErrUnexpectedEOF
 	}
-	out := make(ring.Poly, n)
 	var tmp [8]byte
 	for i := 0; i < n; i++ {
 		clear(tmp[:])
 		copy(tmp[:qBytes], b.data[b.off:b.off+qBytes])
-		out[i] = binary.LittleEndian.Uint64(tmp[:])
+		dst[i] = binary.LittleEndian.Uint64(tmp[:])
 		b.off += qBytes
 	}
-	return out, nil
+	return nil
 }
 
 func (b *buffer) putCiphertext(ct *bfv.Ciphertext, qBytes int) {
@@ -189,7 +207,7 @@ func (b *buffer) putCiphertext(ct *bfv.Ciphertext, qBytes int) {
 	}
 }
 
-func (b *buffer) ciphertext(qBytes int) (*bfv.Ciphertext, error) {
+func (b *buffer) ciphertext(qBytes, degree int) (*bfv.Ciphertext, error) {
 	n, err := b.int()
 	if err != nil {
 		return nil, err
@@ -199,7 +217,7 @@ func (b *buffer) ciphertext(qBytes int) (*bfv.Ciphertext, error) {
 	}
 	ct := &bfv.Ciphertext{C: make([]ring.Poly, n)}
 	for i := range ct.C {
-		if ct.C[i], err = b.poly(qBytes); err != nil {
+		if ct.C[i], err = b.poly(qBytes, degree); err != nil {
 			return nil, err
 		}
 	}
@@ -219,15 +237,20 @@ func EncodeDB(db *core.EncryptedDB, p bfv.Params) []byte {
 	return b.data
 }
 
-// DecodeDB is the inverse of EncodeDB.
+// DecodeDB is the inverse of EncodeDB. Chunk coefficients decode
+// directly into the contiguous search arena (the chunk count precedes
+// the chunks), so an upload never holds loose per-chunk polynomials
+// and the arena at the same time — peak memory is one copy of the
+// database. Database chunks must be fresh 2-component ciphertexts,
+// which is all EncodeDB ever produces.
 func DecodeDB(data []byte, p bfv.Params) (*core.EncryptedDB, error) {
 	b := buffer{data: data}
-	db := &core.EncryptedDB{}
-	var err error
-	if db.BitLen, err = b.int(); err != nil {
+	bitLen, err := b.int()
+	if err != nil {
 		return nil, err
 	}
-	if db.NumSegments, err = b.int(); err != nil {
+	numSegments, err := b.int()
+	if err != nil {
 		return nil, err
 	}
 	n, err := b.count(8) // a ciphertext encodes at least two length words
@@ -235,10 +258,21 @@ func DecodeDB(data []byte, p bfv.Params) (*core.EncryptedDB, error) {
 		return nil, err
 	}
 	qb := p.QBytes()
-	db.Chunks = make([]*bfv.Ciphertext, n)
+	db := core.NewCompactDB(p.N, n)
+	db.BitLen = bitLen
+	db.NumSegments = numSegments
 	for i := range db.Chunks {
-		if db.Chunks[i], err = b.ciphertext(qb); err != nil {
+		ncomp, err := b.int()
+		if err != nil {
 			return nil, err
+		}
+		if ncomp != 2 {
+			return nil, fmt.Errorf("proto: database chunk %d has %d components, want 2", i, ncomp)
+		}
+		for c := 0; c < 2; c++ {
+			if err := b.polyInto(db.Chunks[i].C[c], qb); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return db, nil
@@ -325,7 +359,7 @@ func DecodeQuery(data []byte, p bfv.Params) (*core.Query, error) {
 		if err != nil {
 			return nil, err
 		}
-		if q.Patterns[psi], err = b.ciphertext(qb); err != nil {
+		if q.Patterns[psi], err = b.ciphertext(qb, p.N); err != nil {
 			return nil, err
 		}
 	}
@@ -347,7 +381,7 @@ func DecodeQuery(data []byte, p bfv.Params) (*core.Query, error) {
 		}
 		toks := make([]ring.Poly, cnt)
 		for j := range toks {
-			if toks[j], err = b.poly(qb); err != nil {
+			if toks[j], err = b.poly(qb, p.N); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,111 @@
+package ring
+
+// This file implements the fused add-compare kernel of CIPHERMATCH's
+// seeded-match index generation. Algorithm 1 line 10 plus the index
+// generation of §4.2.2 reduce to: for every coefficient, does
+// (a[i] + b[i]) mod q equal the expected hit value tok[i]? The naive
+// pipeline materialises the sum polynomial and then re-reads it to
+// compare — two passes and n stores for a result that is one bit per
+// coefficient. HE addition is memory-bandwidth-bound (the PIM/CIM
+// measurements CIPHERMATCH builds on), so the fused kernel computes the
+// sum and the comparison in one streaming pass and writes only the hit
+// bits, packed 64 windows per word. Words with no hits are never
+// written, so a miss-dominated search (the common case) is a pure read
+// stream over the ciphertext arena.
+
+// bitsetWord returns the word index and in-word bit mask of bit i.
+func bitsetWord(i int) (int, uint64) {
+	return i >> 6, 1 << (uint(i) & 63)
+}
+
+// AddCmpBits sets bit base+i of bits for every coefficient i with
+// (a[i] + b[i]) mod q == tok[i]. Bits are only ever set, never cleared,
+// so repeated calls over disjoint base ranges accumulate into one
+// packed bitset. No intermediate sum is stored.
+func (r *Ring) AddCmpBits(a, b, tok Poly, bits []uint64, base int) {
+	n := len(a)
+	i := 0
+	if r.qIsPow2 {
+		mask := r.mask
+		if base&63 == 0 {
+			// Word-at-a-time: 64 fused add-compares accumulate into one
+			// register, stored only when at least one window hit.
+			for ; i+64 <= n; i += 64 {
+				aa, bb, tt := a[i:i+64], b[i:i+64], tok[i:i+64]
+				var w uint64
+				for k := range aa {
+					if (aa[k]+bb[k])&mask == tt[k] {
+						w |= 1 << uint(k)
+					}
+				}
+				if w != 0 {
+					bits[(base+i)>>6] |= w
+				}
+			}
+		}
+		for ; i < n; i++ {
+			if (a[i]+b[i])&mask == tok[i] {
+				wi, m := bitsetWord(base + i)
+				bits[wi] |= m
+			}
+		}
+		return
+	}
+	q := r.q
+	if base&63 == 0 {
+		for ; i+64 <= n; i += 64 {
+			aa, bb, tt := a[i:i+64], b[i:i+64], tok[i:i+64]
+			var w uint64
+			for k := range aa {
+				s := aa[k] + bb[k] // q < 2^57, no overflow
+				if s >= q {
+					s -= q
+				}
+				if s == tt[k] {
+					w |= 1 << uint(k)
+				}
+			}
+			if w != 0 {
+				bits[(base+i)>>6] |= w
+			}
+		}
+	}
+	for ; i < n; i++ {
+		s := a[i] + b[i]
+		if s >= q {
+			s -= q
+		}
+		if s == tok[i] {
+			wi, m := bitsetWord(base + i)
+			bits[wi] |= m
+		}
+	}
+}
+
+// CmpEqScalarBits sets bit base+i of bits for every i with a[i] == v —
+// the client-decrypt index generation, where every window compares
+// against the single match value t-1.
+func CmpEqScalarBits(a Poly, v uint64, bits []uint64, base int) {
+	n := len(a)
+	i := 0
+	if base&63 == 0 {
+		for ; i+64 <= n; i += 64 {
+			aa := a[i : i+64]
+			var w uint64
+			for k := range aa {
+				if aa[k] == v {
+					w |= 1 << uint(k)
+				}
+			}
+			if w != 0 {
+				bits[(base+i)>>6] |= w
+			}
+		}
+	}
+	for ; i < n; i++ {
+		if a[i] == v {
+			wi, m := bitsetWord(base + i)
+			bits[wi] |= m
+		}
+	}
+}

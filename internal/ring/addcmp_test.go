@@ -1,0 +1,105 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+
+	"ciphermatch/internal/rng"
+)
+
+// addCmpFamilies covers both modulus families (the paper's q = 2^32 and
+// a generic odd q) at degrees on both sides of the 64-coefficient
+// word-at-a-time fast path.
+var addCmpFamilies = []struct {
+	name string
+	n    int
+	q    uint64
+}{
+	{"pow2-q32-n64", 64, 1 << 32},
+	{"pow2-q32-n1024", 1024, 1 << 32},
+	{"pow2-q32-n16", 16, 1 << 32},
+	{"generic-q40-n64", 64, (1 << 40) + 15},
+	{"generic-q40-n16", 16, (1 << 40) + 15},
+	{"generic-prime-n128", 128, (1 << 45) - 55}, // 2^45-55 is prime
+}
+
+// TestAddCmpBitsMatchesAddCompare is the property test of the fused
+// kernel: AddCmpBits must agree bit for bit with the unfused
+// Add-then-compare pipeline on random polynomials, at aligned and
+// unaligned base offsets, for both modulus families.
+func TestAddCmpBitsMatchesAddCompare(t *testing.T) {
+	for _, fam := range addCmpFamilies {
+		t.Run(fam.name, func(t *testing.T) {
+			r := MustNew(fam.n, fam.q)
+			src := rng.NewSourceFromString("addcmp-" + fam.name)
+			for trial := 0; trial < 32; trial++ {
+				a, b, tok := r.NewPoly(), r.NewPoly(), r.NewPoly()
+				r.UniformPoly(src, a)
+				r.UniformPoly(src, b)
+				r.UniformPoly(src, tok)
+				// Force hits at random positions: a random token rarely
+				// equals the sum, so plant exact matches.
+				sum := r.NewPoly()
+				r.Add(a, b, sum)
+				for i := range tok {
+					if src.Uniform(4) == 0 {
+						tok[i] = sum[i]
+					}
+				}
+				for _, base := range []int{0, 64, fam.n, 37} {
+					words := make([]uint64, (base+fam.n+63)/64)
+					r.AddCmpBits(a, b, tok, words, base)
+					for i := 0; i < fam.n; i++ {
+						want := sum[i] == tok[i]
+						got := words[(base+i)>>6]&(1<<(uint(base+i)&63)) != 0
+						if got != want {
+							t.Fatalf("trial %d base %d coeff %d: fused=%v, add+compare=%v",
+								trial, base, i, got, want)
+						}
+					}
+					// No bit outside [base, base+n) may be touched.
+					ones := 0
+					for _, w := range words {
+						for ; w != 0; w &= w - 1 {
+							ones++
+						}
+					}
+					want := 0
+					for i := range sum {
+						if sum[i] == tok[i] {
+							want++
+						}
+					}
+					if ones != want {
+						t.Fatalf("trial %d base %d: %d bits set, want %d", trial, base, ones, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCmpEqScalarBits checks the standalone compare kernel against its
+// scalar loop.
+func TestCmpEqScalarBits(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			src := rng.NewSourceFromString(fmt.Sprintf("cmpeq-%d", n))
+			a := make(Poly, n)
+			for i := range a {
+				a[i] = src.Uniform(8)
+			}
+			for _, base := range []int{0, 64, 13} {
+				scalar := make([]uint64, (base+n+63)/64)
+				CmpEqScalarBits(a, 3, scalar, base)
+				for i := 0; i < n; i++ {
+					want := a[i] == 3
+					got := scalar[(base+i)>>6]&(1<<(uint(base+i)&63)) != 0
+					if got != want {
+						t.Fatalf("scalar base %d coeff %d: got %v, want %v", base, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}

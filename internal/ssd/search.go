@@ -49,7 +49,7 @@ func (s *SSD) CMSearch(q *core.Query) (*core.IndexResult, error) {
 		if !ok || len(toks) != s.numChunks {
 			return nil, fmt.Errorf("ssd: tokens missing or mis-sized for residue %d", res)
 		}
-		bm := make([]bool, numWindows)
+		bm := core.NewBitset(numWindows)
 		for g := 0; g < s.numGroups(); g++ {
 			plane, block, wlBase, err := s.groupAddr(g)
 			if err != nil {
@@ -109,7 +109,7 @@ func (s *SSD) CMSearch(q *core.Query) (*core.IndexResult, error) {
 				laneSums := sums[lane*n : (lane+1)*n]
 				for i, v := range laneSums {
 					if uint64(v) == tok[i] {
-						bm[base+i] = true
+						bm.Set(base + i)
 					}
 				}
 			}

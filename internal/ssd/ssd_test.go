@@ -140,12 +140,12 @@ func TestCMSearchMatchesSoftware(t *testing.T) {
 	// The hit bitmaps must agree variant by variant.
 	for res, swBM := range swResult.Hits {
 		ifpBM := ifpResult.Hits[res]
-		if len(ifpBM) != len(swBM) {
+		if ifpBM.Len() != swBM.Len() {
 			t.Fatalf("bitmap length mismatch for residue %d", res)
 		}
-		for w := range swBM {
-			if swBM[w] != ifpBM[w] {
-				t.Fatalf("residue %d window %d: software %v, IFP %v", res, w, swBM[w], ifpBM[w])
+		for w := 0; w < swBM.Len(); w++ {
+			if swBM.Get(w) != ifpBM.Get(w) {
+				t.Fatalf("residue %d window %d: software %v, IFP %v", res, w, swBM.Get(w), ifpBM.Get(w))
 			}
 		}
 	}
