@@ -2,7 +2,7 @@ package ciphermatch
 
 // One benchmark per paper table/figure (each runs the corresponding
 // harness experiment), plus micro-benchmarks of the primitive operations
-// and ablation benchmarks for the design choices called out in DESIGN.md §5.
+// and ablation benchmarks for the design choices called out in DESIGN.md §6.
 //
 // Regenerate everything with:
 //
@@ -397,7 +397,7 @@ func BenchmarkEngineBatch(b *testing.B) {
 	}
 }
 
-// --- ablation benchmarks (DESIGN.md §5) ---
+// --- ablation benchmarks (DESIGN.md §6) ---
 
 // BenchmarkAblationPolyMul compares the two negacyclic multiplication
 // algorithms at the paper's ring degree.

@@ -85,12 +85,16 @@ func main() {
 }
 
 // writeEngineBench runs the per-engine search benchmark (the same
-// workload as the BenchmarkEngine sub-benchmarks) and writes the
-// machine-readable report, so successive PRs can diff ns/op, HomAdds/s
-// and allocs/op per engine kind.
+// workload as the BenchmarkEngine sub-benchmarks) plus the segment
+// store's cold-load vs warm-search benchmark, and writes the
+// machine-readable report, so successive PRs can diff ns/op, HomAdds/s,
+// allocs/op and cold-load latency per engine kind.
 func writeEngineBench(path string) error {
 	report, err := harness.RunEngineBench(harness.DefaultEngineBenchSpecs())
 	if err != nil {
+		return err
+	}
+	if report.ColdLoads, err = harness.RunColdLoadBench(harness.DefaultEngineBenchSpecs()); err != nil {
 		return err
 	}
 	f, err := os.Create(path)
@@ -104,6 +108,10 @@ func writeEngineBench(path string) error {
 	for _, e := range report.Engines {
 		fmt.Printf("engine-bench %-16s %12.0f ns/op %14.0f HomAdds/s %6d allocs/op\n",
 			e.Engine, e.NsPerOp, e.HomAddsPerSec, e.AllocsPerOp)
+	}
+	for _, c := range report.ColdLoads {
+		fmt.Printf("cold-load    %-16s %12.0f ns cold-load %10.0f ns warm-search  mmap=%v (%d-byte segment)\n",
+			c.Engine, c.ColdLoadNsPerOp, c.WarmSearchNsPerOp, c.Mapped, c.SegmentBytes)
 	}
 	return f.Close()
 }

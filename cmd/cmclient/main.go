@@ -9,8 +9,15 @@
 //	cmclient -addr localhost:7448 -name corpus -db corpus.txt -query "needle"
 //	cmclient -name corpus -engine pool:8 -db corpus.txt -query "needle"
 //	cmclient -name corpus -db corpus.txt -queryfile patterns.txt
+//	cmclient -name corpus -db corpus.txt -query "needle" -noupload
 //	cmclient -list
 //	cmclient -drop corpus
+//
+// With -noupload the client searches a database the server already
+// holds (a durable cmserver recovers uploads across restarts from its
+// -datadir) without re-shipping the ciphertexts; it must use the same
+// -seed and database file as the original upload so the seeded match
+// tokens line up.
 //
 // With -queryfile (one pattern per line), all patterns travel in a
 // single batched request: the server walks the encrypted database once
@@ -39,6 +46,8 @@ func main() {
 	engineSpec := flag.String("engine", "", "server-side engine for this database, kind[:workers][/shards=N] (empty = server default)")
 	list := flag.Bool("list", false, "list the server's databases and exit")
 	drop := flag.String("drop", "", "drop the named server-side database and exit")
+	noupload := flag.Bool("noupload", false,
+		"search the existing server-side database without re-uploading (durable servers recover uploads across restarts; requires the original -seed and -db file)")
 	flag.Parse()
 
 	cfg := ciphermatch.Config{
@@ -63,8 +72,8 @@ func main() {
 			return
 		}
 		for _, in := range infos {
-			fmt.Printf("%-24s %8d chunks %12d bits %6d searches  engine %s\n",
-				in.Name, in.Chunks, in.BitLen, in.Searches, in.Engine)
+			fmt.Printf("%-24s %8d chunks %12d bits %6d searches  %-8s engine %s\n",
+				in.Name, in.Chunks, in.BitLen, in.Searches, in.State, in.Engine)
 		}
 		return
 	case *drop != "":
@@ -93,15 +102,21 @@ func main() {
 		fatal(err)
 	}
 	dbBits := len(data) * 8
-	db, err := client.EncryptDatabase(data, dbBits)
-	if err != nil {
-		fatal(err)
+	if *noupload {
+		// The server already holds the ciphertexts (e.g. recovered from
+		// its data directory after a restart). Query preparation only
+		// needs the seed-derived keys and the database geometry.
+		fmt.Printf("searching existing %q (no upload)\n", *name)
+	} else {
+		db, err := client.EncryptDatabase(data, dbBits)
+		if err != nil {
+			fatal(err)
+		}
+		if err := conn.UploadDB(*name, spec, db); err != nil {
+			fatal(fmt.Errorf("uploading database: %w", err))
+		}
+		fmt.Printf("uploaded %q: %d encrypted chunks (%d bytes)\n", *name, len(db.Chunks), db.SizeBytes(cfg.Params))
 	}
-
-	if err := conn.UploadDB(*name, spec, db); err != nil {
-		fatal(fmt.Errorf("uploading database: %w", err))
-	}
-	fmt.Printf("uploaded %q: %d encrypted chunks (%d bytes)\n", *name, len(db.Chunks), db.SizeBytes(cfg.Params))
 
 	if *queryFile != "" {
 		batchSearch(conn, client, *name, *queryFile, data, dbBits)

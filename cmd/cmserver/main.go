@@ -5,10 +5,18 @@
 // execution engine — serial CPU, persistent worker pool, or the
 // simulated in-flash drive — selected per upload or defaulted here.
 //
+// With -datadir the store is durable: uploads write through to
+// checksummed segment files, a restart recovers every tenant from the
+// directory, and searches stream the mmap'd segments directly (the
+// paper's search-where-the-data-lives argument, in software). With
+// -membudget, cold tenants are evicted down to the budget and reload
+// transparently on their next search.
+//
 // Usage:
 //
 //	cmserver -addr :7448 -engine pool -workers 8
 //	cmserver -engine ssd/shards=4
+//	cmserver -datadir /var/lib/ciphermatch -membudget 4GiB
 package main
 
 import (
@@ -16,7 +24,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/engine"
@@ -30,6 +41,8 @@ func main() {
 			strings.Join(engine.Kinds(), "|"))
 	workers := flag.Int("workers", 0, "default pool worker count (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "default chunk-range shard count (0/1 = unsharded)")
+	datadir := flag.String("datadir", "", "segment data directory; empty = memory-only (nothing survives restart)")
+	membudget := flag.String("membudget", "", "resident ciphertext-arena budget, e.g. 512MiB or 4GiB (requires -datadir; empty = unlimited)")
 	flag.Parse()
 
 	spec, err := engine.Parse(*engineSpec)
@@ -43,17 +56,93 @@ func main() {
 	if *shards > 1 {
 		spec.Shards = *shards
 	}
+	budget, err := parseBytes(*membudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmserver: -membudget:", err)
+		os.Exit(2)
+	}
+
+	srv, err := proto.NewServerWithOptions(bfv.ParamsPaper(), spec,
+		proto.StoreOptions{DataDir: *datadir, MemBudget: budget})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmserver:", err)
+		os.Exit(1)
+	}
+	if dir := srv.Store().Dir(); dir != nil {
+		n := len(srv.Store().List())
+		fmt.Printf("cmserver: recovered %d database(s) from %s\n", n, dir.Root())
+		for _, dmg := range dir.Damaged() {
+			fmt.Fprintf(os.Stderr, "cmserver: quarantined segment %s: %v\n", dmg.File, dmg.Err)
+		}
+		for _, sk := range srv.Store().SkippedSegments() {
+			fmt.Fprintf(os.Stderr, "cmserver: not serving segment %s (%q): %v\n", sk.File, sk.Name, sk.Err)
+		}
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cmserver:", err)
 		os.Exit(1)
 	}
+
+	// Graceful shutdown: stop accepting, drain in-flight searches,
+	// unmap segments. Segment files and the manifest are fsynced at
+	// upload time, so shutdown has nothing left to make durable.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	shuttingDown := make(chan struct{})
+	go func() {
+		sig := <-sigCh
+		fmt.Printf("cmserver: %s: flushing store and shutting down\n", sig)
+		close(shuttingDown)
+		l.Close()
+	}()
+
 	fmt.Printf("cmserver: listening on %s (BFV n=%d, log2 q=32, log2 t=16, default engine %s)\n",
 		l.Addr(), bfv.ParamsPaper().N, spec)
-	srv := proto.NewServerWithSpec(bfv.ParamsPaper(), spec)
-	if err := srv.Serve(l); err != nil {
-		fmt.Fprintln(os.Stderr, "cmserver:", err)
+	serveErr := srv.Serve(l)
+	if err := srv.Store().Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "cmserver: closing store:", err)
 		os.Exit(1)
 	}
+	select {
+	case <-shuttingDown: // listener closed by the signal handler: clean exit
+	default:
+		if serveErr != nil {
+			fmt.Fprintln(os.Stderr, "cmserver:", serveErr)
+			os.Exit(1)
+		}
+	}
+}
+
+// parseBytes reads a human byte size: plain bytes, or a KiB/MiB/GiB
+// (and KB/MB/GB, decimal) suffix.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	suffixes := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10},
+		{"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3},
+	}
+	mult := int64(1)
+	for _, sf := range suffixes {
+		if strings.HasSuffix(s, sf.suffix) {
+			mult = sf.mult
+			s = strings.TrimSuffix(s, sf.suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	if n > (1<<62)/mult {
+		return 0, fmt.Errorf("byte size overflows")
+	}
+	return n * mult, nil
 }

@@ -162,15 +162,50 @@ func (db *EncryptedDB) Compacted() bool { return db.arena != nil }
 // so a database upload never holds loose per-chunk allocations and the
 // arena at the same time.
 func NewCompactDB(n, numChunks int) *EncryptedDB {
-	arena := make([]uint64, 2*numChunks*n)
-	db := &EncryptedDB{Chunks: make([]*bfv.Ciphertext, numChunks), arena: arena}
-	for j := range db.Chunks {
-		c0 := arena[j*n : (j+1)*n : (j+1)*n]
-		c1 := arena[(numChunks+j)*n : (numChunks+j+1)*n : (numChunks+j+1)*n]
-		db.Chunks[j] = &bfv.Ciphertext{C: []ring.Poly{c0, c1}}
+	db, err := AdoptArena(n, numChunks, make([]uint64, 2*numChunks*n))
+	if err != nil {
+		panic(err) // arena freshly sized above; cannot mismatch
 	}
 	return db
 }
+
+// AdoptArena builds an EncryptedDB whose chunks are views into a
+// caller-provided arena laid out exactly as Compact produces (C0 plane
+// then C1 plane). This is the adoption hook for the durable segment
+// store: a segment file's mmap'd coefficient region plugs straight into
+// the chunk-view layout the search kernels stream, with no copying. The
+// ciphertext headers are carved out of three batched allocations, so
+// adopting an arena costs O(1) heap allocations regardless of the chunk
+// count — loading a 1-chunk and a 10k-chunk segment allocate the same.
+//
+// Arenas backed by read-only mappings are safe: the seeded-match
+// kernels and every engine only ever read database chunks. Callers set
+// BitLen and NumSegments afterwards.
+func AdoptArena(n, numChunks int, arena []uint64) (*EncryptedDB, error) {
+	if n < 1 || numChunks < 1 {
+		return nil, fmt.Errorf("core: cannot adopt an arena of %d chunks of degree %d", numChunks, n)
+	}
+	if len(arena) != 2*numChunks*n {
+		return nil, fmt.Errorf("core: arena holds %d coefficients, %d chunks of degree %d need %d",
+			len(arena), numChunks, n, 2*numChunks*n)
+	}
+	db := &EncryptedDB{Chunks: make([]*bfv.Ciphertext, numChunks), arena: arena}
+	cts := make([]bfv.Ciphertext, numChunks)
+	polys := make([]ring.Poly, 2*numChunks)
+	for j := range cts {
+		// Full-capacity slicing keeps appends from crossing plane rows.
+		polys[2*j] = arena[j*n : (j+1)*n : (j+1)*n]
+		polys[2*j+1] = arena[(numChunks+j)*n : (numChunks+j+1)*n : (numChunks+j+1)*n]
+		cts[j].C = polys[2*j : 2*j+2 : 2*j+2]
+		db.Chunks[j] = &cts[j]
+	}
+	return db, nil
+}
+
+// Arena exposes the contiguous backing store of a compacted database
+// (nil when the chunks are loose allocations). The segment writer
+// streams it to disk as-is; treat it as read-only.
+func (db *EncryptedDB) Arena() []uint64 { return db.arena }
 
 // SizeBytes returns the encrypted footprint, the quantity of Fig. 2(a).
 func (db *EncryptedDB) SizeBytes(p bfv.Params) int64 {

@@ -33,6 +33,9 @@ type EngineBenchReport struct {
 	GoArch   string              `json:"goarch"`
 	Workload string              `json:"workload"`
 	Engines  []EngineBenchResult `json:"engines"`
+	// ColdLoads measures the durable segment store: per engine, the
+	// cold evicted-to-searchable load latency vs the warm search.
+	ColdLoads []ColdLoadResult `json:"cold_loads,omitempty"`
 }
 
 // DefaultEngineBenchSpecs mirrors the BenchmarkEngine sub-benchmarks.

@@ -33,6 +33,18 @@ func NewServerWithSpec(params bfv.Params, defaultSpec core.EngineSpec) *Server {
 	return &Server{params: params, store: NewStore(params, defaultSpec)}
 }
 
+// NewServerWithOptions creates a server over a durable store: uploads
+// write through to segment files under opts.DataDir, a restart recovers
+// every tenant from the directory, and opts.MemBudget bounds resident
+// arenas via LRU eviction.
+func NewServerWithOptions(params bfv.Params, defaultSpec core.EngineSpec, opts StoreOptions) (*Server, error) {
+	store, err := NewStoreWithOptions(params, defaultSpec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{params: params, store: store}, nil
+}
+
 // Store exposes the database registry (for embedding the server
 // in-process).
 func (s *Server) Store() *Store { return s.store }

@@ -11,6 +11,7 @@ import (
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/core"
 	"ciphermatch/internal/engine"
+	"ciphermatch/internal/segment"
 )
 
 // Store is the server's multi-tenant database registry: named encrypted
@@ -18,34 +19,154 @@ import (
 // searches on different databases — and concurrent searches on the same
 // database — proceed in parallel. The store-level lock only guards the
 // name table; it is never held across a search.
+//
+// With a data directory configured, the store is durable: every upload
+// is written through to an on-disk segment before it is acknowledged,
+// a restart re-registers every segment from the recovery scan (tenants
+// reload lazily, with their persisted engine spec, on first search),
+// and an optional memory budget evicts the least-recently-searched
+// resident databases — a cold tenant costs only its segment file until
+// someone searches it again, at which point the arena comes back as a
+// zero-copy mmap of the segment (the flash-resident deployment the
+// paper argues for, in software).
 type Store struct {
 	params      bfv.Params
 	defaultSpec core.EngineSpec
+
+	dir      *segment.Dir // nil = memory-only store
+	budget   int64        // resident-arena byte budget; 0 = unlimited
+	resident atomic.Int64 // bytes of arena currently resident
+	clock    atomic.Int64 // LRU tick, bumped per search
+	skipped  []SkippedSegment
+
+	// uploadMu serialises Upload's persist+register critical section:
+	// the segment written to disk and the entry installed in the
+	// registry must be the same database even when two clients race on
+	// one name. Searches never touch it.
+	uploadMu sync.Mutex
 
 	mu  sync.RWMutex
 	dbs map[string]*hostedDB
 }
 
-// hostedDB is one tenant database. Searches hold mu.RLock; replacement
-// and removal take mu.Lock so an engine is only torn down quiescent.
-type hostedDB struct {
-	name     string
-	spec     core.EngineSpec
-	mu       sync.RWMutex
-	db       *core.EncryptedDB
-	engine   core.Engine
-	searches atomic.Int64
+// SkippedSegment reports a recovered-but-unusable segment: well-formed
+// on disk, but written under different BFV parameters than the store
+// runs. It is left in place (never deleted) and not served.
+type SkippedSegment struct {
+	File string
+	Name string
+	Err  error
 }
 
-// NewStore creates an empty store. Uploads that do not name an engine
-// kind get defaultSpec (zero value = serial).
+// StoreOptions configures durability.
+type StoreOptions struct {
+	// DataDir is the segment directory. Empty means a memory-only
+	// store: nothing persists and nothing can be evicted.
+	DataDir string
+	// MemBudget caps the total bytes of resident ciphertext arenas;
+	// exceeding it evicts least-recently-searched databases down to the
+	// budget (the database being searched is never evicted, so one
+	// over-budget tenant still works). 0 means unlimited. Requires
+	// DataDir: an evicted tenant reloads from its segment.
+	MemBudget int64
+}
+
+// hostedDB is one tenant database. Searches hold mu.RLock; load,
+// eviction and removal take mu.Lock, so an engine is only torn down or
+// swapped in quiescent. The metadata fields (spec, chunks, bitLen,
+// numSegments) are immutable after registration and valid even while
+// the database is cold — List must never need the arena.
+type hostedDB struct {
+	name        string
+	spec        core.EngineSpec
+	chunks      int
+	bitLen      int
+	numSegments int
+	persisted   bool
+
+	searches atomic.Int64
+	lastUsed atomic.Int64 // store clock at last search; LRU key
+	loaded   atomic.Bool  // mirrors engine != nil, for lock-free victim scans
+
+	mu      sync.RWMutex
+	db      *core.EncryptedDB
+	engine  core.Engine
+	seg     *segment.Segment // non-nil while mmap/segment-backed
+	dropped bool
+}
+
+// NewStore creates an empty memory-only store. Uploads that do not
+// name an engine kind get defaultSpec (zero value = serial).
 func NewStore(params bfv.Params, defaultSpec core.EngineSpec) *Store {
-	return &Store{params: params, defaultSpec: defaultSpec, dbs: make(map[string]*hostedDB)}
+	st, err := NewStoreWithOptions(params, defaultSpec, StoreOptions{})
+	if err != nil {
+		panic(err) // no options, no failure paths
+	}
+	return st
+}
+
+// NewStoreWithOptions creates a store, optionally durable. With a data
+// directory it runs the recovery scan: every well-formed segment file
+// re-registers its database (cold — the arena loads on first search)
+// under the engine spec persisted in the segment header. Segments
+// written under different BFV parameters are rejected.
+func NewStoreWithOptions(params bfv.Params, defaultSpec core.EngineSpec, opts StoreOptions) (*Store, error) {
+	st := &Store{params: params, defaultSpec: defaultSpec, budget: opts.MemBudget, dbs: make(map[string]*hostedDB)}
+	if opts.MemBudget < 0 {
+		return nil, fmt.Errorf("proto: negative memory budget %d", opts.MemBudget)
+	}
+	if opts.DataDir == "" {
+		if opts.MemBudget > 0 {
+			return nil, fmt.Errorf("proto: a memory budget requires a data directory to evict to")
+		}
+		return st, nil
+	}
+	dir, err := segment.OpenDir(opts.DataDir)
+	if err != nil {
+		return nil, fmt.Errorf("proto: opening data directory: %w", err)
+	}
+	st.dir = dir
+	for _, e := range dir.Entries() {
+		// A segment from a different parameter point is quarantined like
+		// a damaged file — one foreign segment must not take every
+		// healthy tenant offline.
+		if err := e.Meta.CheckGeometry(params.N, params.Q); err != nil {
+			st.skipped = append(st.skipped, SkippedSegment{File: e.File, Name: e.Meta.Name, Err: err})
+			continue
+		}
+		st.dbs[e.Meta.Name] = &hostedDB{
+			name:        e.Meta.Name,
+			spec:        e.Meta.Spec,
+			chunks:      e.Meta.Chunks,
+			bitLen:      e.Meta.BitLen,
+			numSegments: e.Meta.NumSegments,
+			persisted:   true,
+		}
+	}
+	return st, nil
+}
+
+// Dir exposes the segment directory (nil for memory-only stores), for
+// diagnostics such as the recovery scan's quarantine list.
+func (st *Store) Dir() *segment.Dir { return st.dir }
+
+// SkippedSegments lists recovered segments the store refused to serve
+// because their BFV parameters differ from the store's.
+func (st *Store) SkippedSegments() []SkippedSegment {
+	return append([]SkippedSegment(nil), st.skipped...)
+}
+
+// arenaBytes is the resident cost of one database's ciphertext arena.
+func (st *Store) arenaBytes(chunks int) int64 {
+	return 2 * int64(chunks) * int64(st.params.N) * 8
 }
 
 // Upload installs (or replaces) the named database, building its engine
-// from spec; an empty spec kind selects the store default. Replacement
-// waits for in-flight searches on the old engine before closing it.
+// from spec; an empty spec kind selects the store default. On a durable
+// store the segment is written through — and fsynced — before the
+// upload is acknowledged, so an acked database survives a crash.
+// Replacement waits for in-flight searches on the old engine before
+// closing it.
 func (st *Store) Upload(name string, spec core.EngineSpec, edb *core.EncryptedDB) error {
 	if name == "" {
 		return fmt.Errorf("proto: database name must not be empty")
@@ -83,35 +204,176 @@ func (st *Store) Upload(name string, spec core.EngineSpec, edb *core.EncryptedDB
 			spec.Shards = shards
 		}
 	}
+	edb.Compact() // contiguous arena: what the kernels stream and the segment writer bulk-copies
 	eng, err := engine.Build(st.params, edb, spec)
 	if err != nil {
 		return fmt.Errorf("proto: building %q engine for %q: %w", spec, name, err)
 	}
-	entry := &hostedDB{name: name, spec: spec, db: edb, engine: eng}
+	entry := &hostedDB{
+		name:        name,
+		spec:        spec,
+		chunks:      len(edb.Chunks),
+		bitLen:      edb.BitLen,
+		numSegments: edb.NumSegments,
+		db:          edb,
+		engine:      eng,
+	}
+
+	// Serialised persist+register: with concurrent uploads of one name,
+	// the segment on disk and the entry in the registry must be the
+	// same database, and the capacity check must run *before* the
+	// (potentially huge, fsynced) segment write — a refused upload must
+	// not leave a segment a crash could resurrect.
+	st.uploadMu.Lock()
+	defer st.uploadMu.Unlock()
+	st.mu.RLock()
+	_, replacing := st.dbs[name]
+	full := !replacing && len(st.dbs) >= MaxStoredDBs
+	n := len(st.dbs)
+	st.mu.RUnlock()
+	if full {
+		st.closeEngine(eng)
+		return fmt.Errorf("proto: store holds %d databases (limit %d); drop one first", n, MaxStoredDBs)
+	}
+	if st.dir != nil {
+		meta := segment.Meta{
+			Name:        name,
+			RingDegree:  st.params.N,
+			Modulus:     st.params.Q,
+			Chunks:      len(edb.Chunks),
+			BitLen:      edb.BitLen,
+			NumSegments: edb.NumSegments,
+			Spec:        spec,
+		}
+		if err := st.dir.Save(meta, edb); err != nil {
+			st.closeEngine(eng)
+			return fmt.Errorf("proto: persisting %q: %w", name, err)
+		}
+		entry.persisted = true
+	}
+	// Resident accounting pairs with unloadLocked's decrement: add the
+	// arena bytes exactly when loaded flips true.
+	entry.loaded.Store(true)
+	entry.lastUsed.Store(st.clock.Add(1))
+	st.resident.Add(st.arenaBytes(entry.chunks))
 	st.mu.Lock()
 	old := st.dbs[name]
-	if old == nil && len(st.dbs) >= MaxStoredDBs {
-		st.mu.Unlock()
-		entry.retire()
-		return fmt.Errorf("proto: store holds %d databases (limit %d); drop one first", len(st.dbs), MaxStoredDBs)
-	}
 	st.dbs[name] = entry
 	st.mu.Unlock()
 	if old != nil {
-		old.retire()
+		st.retire(old)
 	}
+	st.enforceBudget(entry)
 	return nil
 }
 
-// retire waits for in-flight searches and closes the engine if it holds
-// resources (worker pools).
-func (d *hostedDB) retire() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if c, ok := d.engine.(io.Closer); ok {
+func (st *Store) closeEngine(eng core.Engine) {
+	if c, ok := eng.(io.Closer); ok {
 		_ = c.Close()
 	}
-	d.engine = nil
+}
+
+// retire waits for in-flight searches, closes the engine, and releases
+// the arena (unmapping it when segment-backed). The entry is dead
+// afterwards.
+func (st *Store) retire(d *hostedDB) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropped = true
+	st.unloadLocked(d)
+}
+
+// unloadLocked drops the resident state — engine, database view,
+// mapping — and the accounting for it. Caller holds d.mu.
+func (st *Store) unloadLocked(d *hostedDB) {
+	if d.engine != nil {
+		st.closeEngine(d.engine)
+		d.engine = nil
+	}
+	d.db = nil
+	if d.seg != nil {
+		_ = d.seg.Close()
+		d.seg = nil
+	}
+	if d.loaded.Swap(false) {
+		st.resident.Add(-st.arenaBytes(d.chunks))
+	}
+}
+
+// ensureLoaded reloads a cold database from its segment: checksum-
+// verified open (zero-copy mmap where the platform allows), arena
+// adoption into the chunk-view layout, and an engine rebuilt from the
+// persisted spec.
+func (st *Store) ensureLoaded(d *hostedDB) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dropped {
+		return fmt.Errorf("proto: database %q was dropped", d.name)
+	}
+	if d.engine != nil {
+		return nil // raced with another reloader: already resident
+	}
+	if !d.persisted || st.dir == nil {
+		return fmt.Errorf("proto: database %q has no engine and no segment to reload from", d.name)
+	}
+	seg, err := st.dir.Load(d.name, st.params.N, st.params.Q)
+	if err != nil {
+		return fmt.Errorf("proto: reloading %q: %w", d.name, err)
+	}
+	edb, err := seg.DB()
+	if err != nil {
+		_ = seg.Close()
+		return fmt.Errorf("proto: adopting %q arena: %w", d.name, err)
+	}
+	eng, err := engine.Build(st.params, edb, d.spec)
+	if err != nil {
+		_ = seg.Close()
+		return fmt.Errorf("proto: rebuilding %q engine for %q: %w", d.spec, d.name, err)
+	}
+	d.db, d.engine, d.seg = edb, eng, seg
+	d.loaded.Store(true)
+	st.resident.Add(st.arenaBytes(d.chunks))
+	return nil
+}
+
+// enforceBudget evicts least-recently-searched resident databases until
+// the resident arena total fits the budget. keep is never evicted (the
+// database just used or loaded). Best-effort: concurrent reloads can
+// transiently overshoot.
+func (st *Store) enforceBudget(keep *hostedDB) {
+	if st.budget <= 0 {
+		return
+	}
+	for st.resident.Load() > st.budget {
+		v := st.pickVictim(keep)
+		if v == nil {
+			return // nothing evictable (keep alone over budget)
+		}
+		v.mu.Lock()
+		// Recheck under the lock: the scan ran lock-free.
+		if !v.dropped && v.engine != nil && v.persisted {
+			st.unloadLocked(v)
+		}
+		v.mu.Unlock()
+	}
+}
+
+// pickVictim returns the least-recently-searched resident, persisted
+// database other than keep, or nil.
+func (st *Store) pickVictim(keep *hostedDB) *hostedDB {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var victim *hostedDB
+	var oldest int64
+	for _, d := range st.dbs {
+		if d == keep || !d.persisted || !d.loaded.Load() {
+			continue
+		}
+		if used := d.lastUsed.Load(); victim == nil || used < oldest {
+			victim, oldest = d, used
+		}
+	}
+	return victim
 }
 
 func (st *Store) lookup(name string) (*hostedDB, error) {
@@ -124,41 +386,68 @@ func (st *Store) lookup(name string) (*hostedDB, error) {
 	return d, nil
 }
 
-// Search runs one query against the named database under its read lock:
-// any number of searches share a database (and the whole store) at once.
-func (st *Store) Search(name string, q *core.Query) (*core.IndexResult, error) {
+// withEngine runs fn under the database's read lock with a live
+// engine, transparently reloading an evicted database from its segment
+// first. Any number of searches share a database (and the whole store)
+// at once.
+func (st *Store) withEngine(name string, fn func(d *hostedDB, eng core.Engine) error) error {
 	d, err := st.lookup(name)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if d.engine == nil {
-		return nil, fmt.Errorf("proto: database %q was dropped", name)
+	for {
+		d.mu.RLock()
+		if d.dropped {
+			d.mu.RUnlock()
+			return fmt.Errorf("proto: database %q was dropped", name)
+		}
+		if eng := d.engine; eng != nil {
+			d.lastUsed.Store(st.clock.Add(1))
+			err := fn(d, eng)
+			d.mu.RUnlock()
+			return err
+		}
+		d.mu.RUnlock()
+		if err := st.ensureLoaded(d); err != nil {
+			return err
+		}
+		st.enforceBudget(d)
 	}
-	d.searches.Add(1)
-	return d.engine.SearchAndIndex(q)
+}
+
+// Search runs one query against the named database under its read
+// lock, reloading it from disk first if it was evicted.
+func (st *Store) Search(name string, q *core.Query) (*core.IndexResult, error) {
+	var ir *core.IndexResult
+	err := st.withEngine(name, func(d *hostedDB, eng core.Engine) error {
+		d.searches.Add(1)
+		var err error
+		ir, err = eng.SearchAndIndex(q)
+		return err
+	})
+	return ir, err
 }
 
 // SearchBatch runs a batch of queries against the named database under
 // its read lock, through the engine's batched pass where it has one.
 // Each member counts as one search in the listing stats.
 func (st *Store) SearchBatch(name string, bq *core.BatchQuery) ([]*core.IndexResult, error) {
-	d, err := st.lookup(name)
-	if err != nil {
-		return nil, err
-	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if d.engine == nil {
-		return nil, fmt.Errorf("proto: database %q was dropped", name)
-	}
-	d.searches.Add(int64(len(bq.Queries)))
-	return core.SearchBatch(d.engine, bq)
+	var irs []*core.IndexResult
+	err := st.withEngine(name, func(d *hostedDB, eng core.Engine) error {
+		d.searches.Add(int64(len(bq.Queries)))
+		var err error
+		irs, err = core.SearchBatch(eng, bq)
+		return err
+	})
+	return irs, err
 }
 
-// Drop removes the named database and tears its engine down.
+// Drop removes the named database, tears its engine down, and deletes
+// its segment file. It serialises with Upload so a drop racing a
+// replacement cannot delete the segment the replacement just wrote.
 func (st *Store) Drop(name string) error {
+	st.uploadMu.Lock()
+	defer st.uploadMu.Unlock()
 	st.mu.Lock()
 	d := st.dbs[name]
 	delete(st.dbs, name)
@@ -166,11 +455,19 @@ func (st *Store) Drop(name string) error {
 	if d == nil {
 		return fmt.Errorf("proto: no database named %q", name)
 	}
-	d.retire()
+	st.retire(d)
+	if st.dir != nil {
+		if err := st.dir.Remove(name); err != nil {
+			return fmt.Errorf("proto: dropping %q segment: %w", name, err)
+		}
+	}
 	return nil
 }
 
-// List describes every hosted database, sorted by name.
+// List describes every hosted database, sorted by name. It reads only
+// registration metadata (persisted in the segment header and manifest),
+// never the arena, so cold databases list correctly without touching
+// disk.
 func (st *Store) List() []DBInfo {
 	st.mu.RLock()
 	entries := make([]*hostedDB, 0, len(st.dbs))
@@ -182,15 +479,21 @@ func (st *Store) List() []DBInfo {
 	infos := make([]DBInfo, 0, len(entries))
 	for _, d := range entries {
 		d.mu.RLock()
-		desc := "retired"
-		if d.engine != nil {
+		state := StateCold
+		desc := d.spec.String()
+		switch {
+		case d.dropped:
+			state = StateRetired
+		case d.engine != nil:
+			state = StateResident
 			desc = d.engine.Describe()
 		}
 		infos = append(infos, DBInfo{
 			Name:     d.name,
 			Engine:   desc,
-			Chunks:   len(d.db.Chunks),
-			BitLen:   d.db.BitLen,
+			State:    state,
+			Chunks:   d.chunks,
+			BitLen:   d.bitLen,
 			Searches: int(d.searches.Load()),
 		})
 		d.mu.RUnlock()
@@ -198,14 +501,20 @@ func (st *Store) List() []DBInfo {
 	return infos
 }
 
-// Close retires every database (server shutdown).
+// ResidentBytes reports the bytes of ciphertext arena currently
+// resident (heap or mapped), the quantity the memory budget bounds.
+func (st *Store) ResidentBytes() int64 { return st.resident.Load() }
+
+// Close retires every database (server shutdown): engines drain,
+// mappings unmap. Segments and the manifest are already durable — the
+// store reopens from the same directory.
 func (st *Store) Close() error {
 	st.mu.Lock()
 	dbs := st.dbs
 	st.dbs = make(map[string]*hostedDB)
 	st.mu.Unlock()
 	for _, d := range dbs {
-		d.retire()
+		st.retire(d)
 	}
 	return nil
 }

@@ -456,10 +456,23 @@ func DecodeName(data []byte) (string, error) {
 	return b.string()
 }
 
-// DBInfo describes one hosted database (MsgDBList).
+// Residency states reported in DBInfo.State. A durable store serves
+// cold databases transparently (the first search reloads the segment),
+// so the listing distinguishes what is costing memory right now.
+const (
+	StateResident = "resident"
+	StateCold     = "cold"
+	StateRetired  = "retired"
+)
+
+// DBInfo describes one hosted database (MsgDBList). Chunks and BitLen
+// come from registration metadata — persisted in the segment header and
+// manifest — so they are valid for cold (evicted or not-yet-loaded)
+// databases too.
 type DBInfo struct {
 	Name     string
-	Engine   string // engine description, e.g. "pool(8 workers)"
+	Engine   string // engine description ("pool(8 workers)") or, cold, the spec ("pool:8")
+	State    string // StateResident, StateCold or StateRetired
 	Chunks   int
 	BitLen   int
 	Searches int
@@ -472,6 +485,7 @@ func EncodeDBList(infos []DBInfo) []byte {
 	for _, in := range infos {
 		b.putString(in.Name)
 		b.putString(in.Engine)
+		b.putString(in.State)
 		b.putInt(in.Chunks)
 		b.putInt(in.BitLen)
 		b.putInt(in.Searches)
@@ -482,7 +496,7 @@ func EncodeDBList(infos []DBInfo) []byte {
 // DecodeDBList is the inverse of EncodeDBList.
 func DecodeDBList(data []byte) ([]DBInfo, error) {
 	b := buffer{data: data}
-	n, err := b.count(20) // five 4-byte words minimum per entry
+	n, err := b.count(24) // six 4-byte words minimum per entry
 	if err != nil {
 		return nil, err
 	}
@@ -492,6 +506,9 @@ func DecodeDBList(data []byte) ([]DBInfo, error) {
 			return nil, err
 		}
 		if infos[i].Engine, err = b.string(); err != nil {
+			return nil, err
+		}
+		if infos[i].State, err = b.string(); err != nil {
 			return nil, err
 		}
 		if infos[i].Chunks, err = b.int(); err != nil {

@@ -1,0 +1,221 @@
+package segment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"ciphermatch/internal/core"
+)
+
+// ManifestName is the JSON index written beside the segment files.
+const ManifestName = "MANIFEST.json"
+
+const segSuffix = ".seg"
+
+// FileName maps a database name to its segment file name. Names are
+// arbitrary bytes up to MaxNameLen, so the file name is a digest, not
+// an escape of the name; the name itself is stored inside the segment
+// header and the manifest.
+func FileName(name string) string {
+	sum := sha256.Sum256([]byte(name))
+	return hex.EncodeToString(sum[:16]) + segSuffix
+}
+
+// Entry is one registered segment.
+type Entry struct {
+	Meta Meta
+	File string // file name within the directory
+}
+
+// Damaged reports a segment file the recovery scan could not validate.
+type Damaged struct {
+	File string
+	Err  error
+}
+
+// Dir manages a data directory of segment files plus its manifest. The
+// directory scan is authoritative — every well-formed *.seg file is a
+// tenant, whatever the manifest says — so a crash between a segment
+// rename and the manifest write loses nothing: the next OpenDir adopts
+// the orphan from its self-describing header and rewrites the manifest.
+type Dir struct {
+	root string
+
+	mu      sync.Mutex
+	entries map[string]*Entry // by database name
+	damaged []Damaged
+}
+
+// manifest is the on-disk JSON shape.
+type manifest struct {
+	Version  int             `json:"version"`
+	Segments []manifestEntry `json:"segments"`
+}
+
+type manifestEntry struct {
+	Name        string `json:"name"`
+	File        string `json:"file"`
+	RingDegree  int    `json:"ring_degree"`
+	Modulus     uint64 `json:"modulus"`
+	Chunks      int    `json:"chunks"`
+	BitLen      int    `json:"bit_len"`
+	NumSegments int    `json:"num_segments"`
+	EngineKind  string `json:"engine_kind,omitempty"`
+	Workers     int    `json:"engine_workers,omitempty"`
+	Shards      int    `json:"engine_shards,omitempty"`
+}
+
+// OpenDir opens (creating if needed) a data directory: it scans every
+// segment file, validates headers, reconciles the manifest, and removes
+// stale temporary files from interrupted writes. Files that fail
+// validation are quarantined in Damaged(), not deleted — the store
+// boots without them and an operator can inspect or restore.
+func OpenDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Dir{root: root, entries: make(map[string]*Entry)}
+	names, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, de := range names {
+		fn := de.Name()
+		if strings.HasSuffix(fn, ".tmp") {
+			os.Remove(filepath.Join(root, fn)) //nolint:errcheck // stale partial write
+			continue
+		}
+		if !strings.HasSuffix(fn, segSuffix) || de.IsDir() {
+			continue
+		}
+		meta, err := ReadMeta(filepath.Join(root, fn))
+		if err != nil {
+			d.damaged = append(d.damaged, Damaged{File: fn, Err: err})
+			continue
+		}
+		// Prefer the canonical file for a name if two files claim it
+		// (possible only after manual copying into the directory).
+		if old, ok := d.entries[meta.Name]; ok && old.File == FileName(meta.Name) {
+			d.damaged = append(d.damaged, Damaged{File: fn, Err: fmt.Errorf("segment: duplicate of %q", meta.Name)})
+			continue
+		}
+		d.entries[meta.Name] = &Entry{Meta: meta, File: fn}
+	}
+	if err := d.writeManifest(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Root returns the directory path.
+func (d *Dir) Root() string { return d.root }
+
+// Entries lists registered segments sorted by database name.
+func (d *Dir) Entries() []Entry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Entry, 0, len(d.entries))
+	for _, e := range d.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Meta.Name < out[j].Meta.Name })
+	return out
+}
+
+// Damaged lists segment files the recovery scan quarantined.
+func (d *Dir) Damaged() []Damaged {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Damaged(nil), d.damaged...)
+}
+
+// Save writes db as meta.Name's segment (crash-atomically, replacing
+// any previous version) and updates the manifest.
+func (d *Dir) Save(meta Meta, db *core.EncryptedDB) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fn := FileName(meta.Name)
+	if err := Write(filepath.Join(d.root, fn), meta, db); err != nil {
+		return err
+	}
+	d.entries[meta.Name] = &Entry{Meta: meta, File: fn}
+	return d.writeManifest()
+}
+
+// Load opens the named segment, verifying checksums and geometry.
+func (d *Dir) Load(name string, ringDegree int, modulus uint64) (*Segment, error) {
+	d.mu.Lock()
+	e, ok := d.entries[name]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("segment: no segment for database %q", name)
+	}
+	return Open(filepath.Join(d.root, e.File), ringDegree, modulus)
+}
+
+// Remove deletes the named segment file and its manifest entry.
+func (d *Dir) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[name]
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(d.root, e.File)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	delete(d.entries, name)
+	syncDir(d.root)
+	return d.writeManifest()
+}
+
+// writeManifest rewrites the manifest atomically; d.mu held.
+func (d *Dir) writeManifest() error {
+	m := manifest{Version: 1}
+	for _, name := range sortedNames(d.entries) {
+		e := d.entries[name]
+		m.Segments = append(m.Segments, manifestEntry{
+			Name:        e.Meta.Name,
+			File:        e.File,
+			RingDegree:  e.Meta.RingDegree,
+			Modulus:     e.Meta.Modulus,
+			Chunks:      e.Meta.Chunks,
+			BitLen:      e.Meta.BitLen,
+			NumSegments: e.Meta.NumSegments,
+			EngineKind:  e.Meta.Spec.Kind,
+			Workers:     e.Meta.Spec.Workers,
+			Shards:      e.Meta.Spec.Shards,
+		})
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(d.root, ManifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return err
+	}
+	syncDir(d.root)
+	return nil
+}
+
+func sortedNames(m map[string]*Entry) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

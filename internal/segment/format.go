@@ -1,0 +1,211 @@
+// Package segment implements the durable on-disk form of an encrypted
+// database: one segment file per tenant under a data directory, written
+// crash-atomically and loaded zero-copy via mmap, so the ciphertext
+// arena the fused search kernel streams is the page-cache/flash-backed
+// mapping itself. This is the software analogue of CIPHERMATCH's
+// in-flash read path (§5, §6.2): the encrypted database lives in flash
+// and the search walks it where it lies, instead of the server hauling
+// every tenant into heap-resident DRAM.
+//
+// File layout (version 1, all integers little-endian):
+//
+//	offset  size  field
+//	     0     8  magic "CMSEGARN"
+//	     8     4  version (1)
+//	    12     4  header length (128)
+//	    16     8  ring degree n
+//	    24     8  ciphertext modulus q
+//	    32     8  chunk count
+//	    40     8  database bit length
+//	    48     8  segment (16-bit coefficient) count
+//	    56     4  name length (<= 255)
+//	    60     4  engine workers
+//	    64     4  engine shards
+//	    68    16  engine kind, NUL-padded
+//	    84    44  reserved (zero)
+//	   128     -  database name, zero-padded to an 8-byte multiple
+//	     -     -  C0 plane: chunk coefficients c(0), 8 bytes each
+//	     -     -  C1 plane: chunk coefficients c(1), 8 bytes each
+//	     -    32  footer: C0 CRC, C1 CRC, header+name CRC, "CMSEGEND"
+//
+// The planes are laid out exactly as core.EncryptedDB.Compact lays out
+// its arena — all first components, then all second components — and
+// every plane starts 8-byte aligned, so on little-endian platforms the
+// mapped byte range reinterprets directly as the []uint64 arena that
+// core.AdoptArena plugs into the chunk-view layout. Checksums are
+// CRC-64/ECMA, one per plane plus one over the header and name.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+
+	"ciphermatch/internal/core"
+)
+
+// Distinct load-failure classes, so callers (and tests) can tell a
+// foreign file from a damaged one from a mismatched one. Every error
+// returned by Open/ReadMeta wraps exactly one of these.
+var (
+	// ErrBadMagic: the file does not start with the segment magic — not
+	// a segment file at all.
+	ErrBadMagic = errors.New("segment: bad magic")
+	// ErrBadVersion: a segment file from an unknown format version.
+	ErrBadVersion = errors.New("segment: unsupported format version")
+	// ErrTruncated: the file is shorter than its header promises.
+	ErrTruncated = errors.New("segment: truncated file")
+	// ErrChecksum: a stored CRC does not match the bytes on disk
+	// (bit rot, torn write).
+	ErrChecksum = errors.New("segment: checksum mismatch")
+	// ErrGeometry: the segment's ring degree or modulus differs from
+	// the parameters the caller expects.
+	ErrGeometry = errors.New("segment: ring geometry mismatch")
+	// ErrCorrupt: structurally malformed header or footer (impossible
+	// counts, oversize fields, trailing garbage).
+	ErrCorrupt = errors.New("segment: malformed file")
+)
+
+const (
+	magic    = "CMSEGARN"
+	endMagic = "CMSEGEND"
+	// Version is the current segment format version.
+	Version = 1
+
+	headerLen = 128
+	footerLen = 32
+
+	// MaxNameLen bounds the stored database name; it mirrors the wire
+	// protocol's name bound (proto.MaxNameLen).
+	MaxNameLen = 255
+
+	maxKindLen = 16
+	// Sanity bounds on header-declared geometry, so a hostile header
+	// cannot drive the size arithmetic into overflow.
+	maxRingDegree = 1 << 26
+	maxChunks     = 1 << 28
+)
+
+// crcTable is the CRC-64/ECMA table shared by writer and loader.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// nativeLittleEndian reports whether the host lays uint64s out in the
+// file's byte order; only then can a mapped plane be reinterpreted as
+// the coefficient arena without copying.
+var nativeLittleEndian = binary.NativeEndian.Uint16([]byte{0x01, 0x02}) == 0x0201
+
+// Meta is the identity and geometry of one segment: everything the
+// store needs to re-register a tenant after a restart without touching
+// the coefficient planes.
+type Meta struct {
+	// Name is the tenant database name the segment was saved under.
+	Name string
+	// RingDegree and Modulus pin the BFV parameter point the
+	// ciphertexts were produced under.
+	RingDegree int
+	Modulus    uint64
+	// Chunks, BitLen and NumSegments mirror core.EncryptedDB.
+	Chunks      int
+	BitLen      int
+	NumSegments int
+	// Spec is the engine the tenant uploaded with; recovery rebuilds
+	// the same engine kind over the reloaded arena.
+	Spec core.EngineSpec
+}
+
+// arenaWords returns the coefficient count of both planes together.
+func (m Meta) arenaWords() int { return 2 * m.Chunks * m.RingDegree }
+
+// planeBytes returns the byte size of one plane.
+func (m Meta) planeBytes() int64 { return int64(m.Chunks) * int64(m.RingDegree) * 8 }
+
+// CheckGeometry verifies the segment was written under the expected
+// ring degree and modulus.
+func (m Meta) CheckGeometry(ringDegree int, modulus uint64) error {
+	if m.RingDegree != ringDegree || m.Modulus != modulus {
+		return fmt.Errorf("%w: segment has n=%d q=%d, store runs n=%d q=%d",
+			ErrGeometry, m.RingDegree, m.Modulus, ringDegree, modulus)
+	}
+	return nil
+}
+
+// pad8 rounds n up to a multiple of 8, keeping the planes 8-byte
+// aligned behind the variable-length name.
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// encodeHeader renders the header plus the padded name section.
+func encodeHeader(m Meta) []byte {
+	buf := make([]byte, headerLen+pad8(len(m.Name)))
+	copy(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[8:], Version)
+	binary.LittleEndian.PutUint32(buf[12:], headerLen)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(m.RingDegree))
+	binary.LittleEndian.PutUint64(buf[24:], m.Modulus)
+	binary.LittleEndian.PutUint64(buf[32:], uint64(m.Chunks))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(m.BitLen))
+	binary.LittleEndian.PutUint64(buf[48:], uint64(m.NumSegments))
+	binary.LittleEndian.PutUint32(buf[56:], uint32(len(m.Name)))
+	binary.LittleEndian.PutUint32(buf[60:], uint32(m.Spec.Workers))
+	binary.LittleEndian.PutUint32(buf[64:], uint32(m.Spec.Shards))
+	copy(buf[68:68+maxKindLen], m.Spec.Kind)
+	copy(buf[headerLen:], m.Name)
+	return buf
+}
+
+// decodeHeader parses and bounds-checks a header block (at least
+// headerLen bytes). It returns the meta with an empty Name — the name
+// sits behind the fixed block — plus the declared name length.
+func decodeHeader(buf []byte) (Meta, int, error) {
+	var m Meta
+	if len(buf) < headerLen {
+		return m, 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(buf))
+	}
+	if string(buf[:8]) != magic {
+		return m, 0, fmt.Errorf("%w: % x", ErrBadMagic, buf[:8])
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != Version {
+		return m, 0, fmt.Errorf("%w: version %d, this build reads %d", ErrBadVersion, v, Version)
+	}
+	if hl := binary.LittleEndian.Uint32(buf[12:]); hl != headerLen {
+		return m, 0, fmt.Errorf("%w: header length %d", ErrCorrupt, hl)
+	}
+	n := binary.LittleEndian.Uint64(buf[16:])
+	chunks := binary.LittleEndian.Uint64(buf[32:])
+	if n < 1 || n > maxRingDegree || n&(n-1) != 0 {
+		return m, 0, fmt.Errorf("%w: ring degree %d", ErrCorrupt, n)
+	}
+	if chunks < 1 || chunks > maxChunks {
+		return m, 0, fmt.Errorf("%w: chunk count %d", ErrCorrupt, chunks)
+	}
+	bitLen := binary.LittleEndian.Uint64(buf[40:])
+	numSegs := binary.LittleEndian.Uint64(buf[48:])
+	if bitLen > 1<<50 || numSegs > 1<<50 {
+		return m, 0, fmt.Errorf("%w: bit length %d / segment count %d", ErrCorrupt, bitLen, numSegs)
+	}
+	nameLen := binary.LittleEndian.Uint32(buf[56:])
+	if nameLen > MaxNameLen {
+		return m, 0, fmt.Errorf("%w: name length %d exceeds %d", ErrCorrupt, nameLen, MaxNameLen)
+	}
+	kind := buf[68 : 68+maxKindLen]
+	kindEnd := 0
+	for kindEnd < maxKindLen && kind[kindEnd] != 0 {
+		kindEnd++
+	}
+	for _, b := range kind[kindEnd:] {
+		if b != 0 {
+			return m, 0, fmt.Errorf("%w: engine kind not NUL-padded", ErrCorrupt)
+		}
+	}
+	m.RingDegree = int(n)
+	m.Modulus = binary.LittleEndian.Uint64(buf[24:])
+	m.Chunks = int(chunks)
+	m.BitLen = int(bitLen)
+	m.NumSegments = int(numSegs)
+	m.Spec = core.EngineSpec{
+		Kind:    string(kind[:kindEnd]),
+		Workers: int(binary.LittleEndian.Uint32(buf[60:])),
+		Shards:  int(binary.LittleEndian.Uint32(buf[64:])),
+	}
+	return m, int(nameLen), nil
+}

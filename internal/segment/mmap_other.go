@@ -1,0 +1,18 @@
+//go:build !unix
+
+package segment
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported: no memory mapping on this platform; Open falls back
+// to copying the planes into a heap arena.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(b []byte) error { return nil }

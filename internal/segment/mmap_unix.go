@@ -1,0 +1,25 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy load path; the fallback loader
+// copies the planes into a heap arena instead.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared, so the mapping is
+// the kernel page cache over the segment file itself: pages fault in
+// from flash as the search kernel streams the plane.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,235 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+
+	"ciphermatch/internal/core"
+)
+
+// Segment is a loaded segment file: its metadata plus the coefficient
+// arena. On little-endian unix hosts the arena is a read-only view of
+// the mmap'd file — zero-copy, page-cache backed — and Close unmaps it;
+// elsewhere it is a heap copy. Either way loading costs O(1) heap
+// allocations independent of the chunk count.
+//
+// The arena (and any EncryptedDB adopted over it) must not be used
+// after Close: a mapped arena's pages vanish with the mapping.
+type Segment struct {
+	meta    Meta
+	arena   []uint64
+	mapping []byte // non-nil while mmap-backed
+}
+
+// Meta returns the segment's identity and geometry.
+func (s *Segment) Meta() Meta { return s.meta }
+
+// Arena returns the coefficient planes in core.EncryptedDB.Compact
+// layout (C0 plane then C1 plane). Read-only.
+func (s *Segment) Arena() []uint64 { return s.arena }
+
+// Mapped reports whether the arena is a zero-copy file mapping.
+func (s *Segment) Mapped() bool { return s.mapping != nil }
+
+// DB adopts the arena into an EncryptedDB: chunk views over the mapped
+// (or copied) planes, ready for any engine. The database is read-only
+// and dies with the segment's Close.
+func (s *Segment) DB() (*core.EncryptedDB, error) {
+	db, err := core.AdoptArena(s.meta.RingDegree, s.meta.Chunks, s.arena)
+	if err != nil {
+		return nil, err
+	}
+	db.BitLen = s.meta.BitLen
+	db.NumSegments = s.meta.NumSegments
+	return db, nil
+}
+
+// Close releases the mapping (or drops the heap arena). Idempotent.
+func (s *Segment) Close() error {
+	m := s.mapping
+	s.mapping, s.arena = nil, nil
+	if m != nil {
+		return munmapFile(m)
+	}
+	return nil
+}
+
+// Open loads the segment at path, verifying structure and checksums,
+// and rejects files whose ring geometry differs from (ringDegree,
+// modulus). The error wraps one of ErrBadMagic, ErrBadVersion,
+// ErrTruncated, ErrChecksum, ErrGeometry or ErrCorrupt.
+func Open(path string, ringDegree int, modulus uint64) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	meta, planeOff, size, err := readHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := meta.CheckGeometry(ringDegree, modulus); err != nil {
+		return nil, err
+	}
+
+	if mmapSupported && nativeLittleEndian {
+		if m, err := mmapFile(f, size); err == nil {
+			if err := verifyMapped(m, planeOff, meta); err != nil {
+				munmapFile(m) //nolint:errcheck // reporting the verify failure
+				return nil, err
+			}
+			if arena := bytesU64(m[planeOff : int64(planeOff)+2*meta.planeBytes()]); arena != nil {
+				return &Segment{meta: meta, arena: arena, mapping: m}, nil
+			}
+			munmapFile(m) //nolint:errcheck // falling back to the copying loader
+		}
+		// Mapping failed (exotic filesystem, size limits): copy instead.
+	}
+	return openCopy(f, meta, planeOff)
+}
+
+// ReadMeta reads and validates a segment's header, name and header
+// checksum without touching the coefficient planes — the cheap probe
+// the recovery scan runs per file at startup.
+func ReadMeta(path string) (Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, err
+	}
+	defer f.Close()
+	meta, _, _, err := readHeader(f)
+	return meta, err
+}
+
+// readHeader validates sizes, parses the header and name, and checks
+// the header CRC stored in the footer. It returns the plane offset and
+// total file size.
+func readHeader(f *os.File) (Meta, int, int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return Meta{}, 0, 0, err
+	}
+	size := st.Size()
+	if size < headerLen+footerLen {
+		return Meta{}, 0, 0, fmt.Errorf("%w: %d bytes", ErrTruncated, size)
+	}
+	var head [headerLen]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return Meta{}, 0, 0, err
+	}
+	meta, nameLen, err := decodeHeader(head[:])
+	if err != nil {
+		return Meta{}, 0, 0, err
+	}
+	planeOff := headerLen + pad8(nameLen)
+	want := int64(planeOff) + 2*meta.planeBytes() + footerLen
+	if size < want {
+		return Meta{}, 0, 0, fmt.Errorf("%w: %d bytes, header promises %d", ErrTruncated, size, want)
+	}
+	if size > want {
+		return Meta{}, 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, size-want)
+	}
+
+	nameBuf := make([]byte, pad8(nameLen))
+	if _, err := f.ReadAt(nameBuf, headerLen); err != nil {
+		return Meta{}, 0, 0, err
+	}
+	for _, b := range nameBuf[nameLen:] {
+		if b != 0 {
+			return Meta{}, 0, 0, fmt.Errorf("%w: name padding not zero", ErrCorrupt)
+		}
+	}
+	meta.Name = string(nameBuf[:nameLen])
+
+	foot, err := readFooter(f, size)
+	if err != nil {
+		return Meta{}, 0, 0, err
+	}
+	crc := crc64.Checksum(head[:], crcTable)
+	crc = crc64.Update(crc, crcTable, nameBuf)
+	if crc != foot.headCRC {
+		return Meta{}, 0, 0, fmt.Errorf("%w: header CRC %016x, stored %016x", ErrChecksum, crc, foot.headCRC)
+	}
+	return meta, planeOff, size, nil
+}
+
+// footer is the decoded trailing block.
+type footer struct {
+	planeCRC [2]uint64
+	headCRC  uint64
+}
+
+func readFooter(f *os.File, size int64) (footer, error) {
+	var buf [footerLen]byte
+	if _, err := f.ReadAt(buf[:], size-footerLen); err != nil {
+		return footer{}, err
+	}
+	return decodeFooter(buf[:])
+}
+
+func decodeFooter(buf []byte) (footer, error) {
+	if string(buf[24:32]) != endMagic {
+		return footer{}, fmt.Errorf("%w: bad end magic", ErrCorrupt)
+	}
+	return footer{
+		planeCRC: [2]uint64{binary.LittleEndian.Uint64(buf[0:]), binary.LittleEndian.Uint64(buf[8:])},
+		headCRC:  binary.LittleEndian.Uint64(buf[16:]),
+	}, nil
+}
+
+// verifyMapped checks both plane CRCs against the mapped bytes. This is
+// the cold-load cost: one sequential fault-in pass over the file.
+func verifyMapped(m []byte, planeOff int, meta Meta) error {
+	foot, err := decodeFooter(m[len(m)-footerLen:])
+	if err != nil {
+		return err
+	}
+	pb := meta.planeBytes()
+	for p := 0; p < 2; p++ {
+		lo := int64(planeOff) + int64(p)*pb
+		if crc := crc64.Checksum(m[lo:lo+pb], crcTable); crc != foot.planeCRC[p] {
+			return fmt.Errorf("%w: C%d plane CRC %016x, stored %016x", ErrChecksum, p, crc, foot.planeCRC[p])
+		}
+	}
+	return nil
+}
+
+// openCopy is the plain-read fallback (no mmap, or a big-endian host):
+// the planes are read — and byte-order corrected where needed — into a
+// heap arena. Still O(1) allocations: one arena plus fixed scratch.
+func openCopy(f *os.File, meta Meta, planeOff int) (*Segment, error) {
+	foot, err := readFooter(f, int64(planeOff)+2*meta.planeBytes()+footerLen)
+	if err != nil {
+		return nil, err
+	}
+	arena := make([]uint64, meta.arenaWords())
+	words := len(arena) / 2
+	var scratch [512 * 8]byte
+	for p := 0; p < 2; p++ {
+		crc := crc64.New(crcTable)
+		plane := arena[p*words : (p+1)*words]
+		r := io.NewSectionReader(f, int64(planeOff)+int64(p)*meta.planeBytes(), meta.planeBytes())
+		for len(plane) > 0 {
+			chunk := len(scratch) / 8
+			if chunk > len(plane) {
+				chunk = len(plane)
+			}
+			buf := scratch[:chunk*8]
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			crc.Write(buf)
+			for i := 0; i < chunk; i++ {
+				plane[i] = binary.LittleEndian.Uint64(buf[i*8:])
+			}
+			plane = plane[chunk:]
+		}
+		if crc.Sum64() != foot.planeCRC[p] {
+			return nil, fmt.Errorf("%w: C%d plane CRC %016x, stored %016x", ErrChecksum, p, crc.Sum64(), foot.planeCRC[p])
+		}
+	}
+	return &Segment{meta: meta, arena: arena}, nil
+}

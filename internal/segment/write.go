@@ -1,0 +1,131 @@
+package segment
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+
+	"ciphermatch/internal/core"
+)
+
+// Write persists db as a segment file at path, crash-atomically: the
+// bytes are streamed to a temporary file in the same directory, fsynced,
+// and renamed over path, then the directory is fsynced, so a crash at
+// any point leaves either the old file or the new one — never a torn
+// segment. The database chunks must be uniform 2-component ciphertexts
+// of the meta's ring degree (everything the wire decoder and the client
+// ever produce).
+func Write(path string, meta Meta, db *core.EncryptedDB) error {
+	if err := checkWritable(meta, db); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	// Best-effort cleanup on any failure below; harmless after rename.
+	defer os.Remove(tmp)
+
+	if err := writeTo(f, meta, db); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// checkWritable validates that db matches meta chunk for chunk.
+func checkWritable(meta Meta, db *core.EncryptedDB) error {
+	if len(meta.Name) > MaxNameLen {
+		return fmt.Errorf("segment: name of %d bytes exceeds %d", len(meta.Name), MaxNameLen)
+	}
+	if len(meta.Spec.Kind) > maxKindLen {
+		return fmt.Errorf("segment: engine kind %q exceeds %d bytes", meta.Spec.Kind, maxKindLen)
+	}
+	if meta.Chunks != len(db.Chunks) {
+		return fmt.Errorf("segment: meta declares %d chunks, database has %d", meta.Chunks, len(db.Chunks))
+	}
+	if meta.Chunks < 1 || meta.Chunks > maxChunks || meta.RingDegree < 1 || meta.RingDegree > maxRingDegree {
+		return fmt.Errorf("segment: geometry %d chunks x degree %d out of range", meta.Chunks, meta.RingDegree)
+	}
+	for j, ct := range db.Chunks {
+		if ct == nil || len(ct.C) != 2 || len(ct.C[0]) != meta.RingDegree || len(ct.C[1]) != meta.RingDegree {
+			return fmt.Errorf("segment: chunk %d is not a 2-component degree-%d ciphertext", j, meta.RingDegree)
+		}
+	}
+	return nil
+}
+
+// writeTo streams header, name, planes and footer.
+func writeTo(f *os.File, meta Meta, db *core.EncryptedDB) error {
+	w := bufio.NewWriterSize(f, 1<<20)
+	head := encodeHeader(meta)
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	headCRC := crc64.Checksum(head, crcTable)
+
+	var planeCRC [2]uint64
+	if arena := db.Arena(); arena != nil && nativeLittleEndian {
+		// Compacted database on a little-endian host: the arena already
+		// is the file's plane bytes — two bulk writes, no re-encoding.
+		words := len(arena) / 2
+		for p := 0; p < 2; p++ {
+			plane := u64Bytes(arena[p*words : (p+1)*words])
+			planeCRC[p] = crc64.Checksum(plane, crcTable)
+			if _, err := w.Write(plane); err != nil {
+				return err
+			}
+		}
+	} else {
+		var tmp [8]byte
+		for p := 0; p < 2; p++ {
+			crc := crc64.New(crcTable)
+			for _, ct := range db.Chunks {
+				for _, c := range ct.C[p] {
+					binary.LittleEndian.PutUint64(tmp[:], c)
+					crc.Write(tmp[:])
+					if _, err := w.Write(tmp[:]); err != nil {
+						return err
+					}
+				}
+			}
+			planeCRC[p] = crc.Sum64()
+		}
+	}
+
+	var foot [footerLen]byte
+	binary.LittleEndian.PutUint64(foot[0:], planeCRC[0])
+	binary.LittleEndian.PutUint64(foot[8:], planeCRC[1])
+	binary.LittleEndian.PutUint64(foot[16:], headCRC)
+	copy(foot[24:], endMagic)
+	if _, err := w.Write(foot[:]); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Best
+// effort: some platforms cannot open or sync directories.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck // advisory durability barrier
+	d.Close()
+}
