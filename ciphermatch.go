@@ -58,8 +58,11 @@ type (
 	Client = core.Client
 	// Server stores the encrypted database and runs addition-only search.
 	Server = core.Server
-	// Query is the encrypted query artifact (shift-variant patterns plus
-	// optional match tokens).
+	// Query is the encrypted query artifact: shift-variant patterns
+	// plus, in ModeSeededMatch, factored match tokens (a per-chunk
+	// DBTok plane and per-phase RHS comparands — R× smaller on the
+	// wire than the legacy per-(residue, chunk) token expansion, which
+	// Client.PrepareLegacyQuery still produces for old servers).
 	Query = core.Query
 	// EncryptedDB is the packed, encrypted database.
 	EncryptedDB = core.EncryptedDB

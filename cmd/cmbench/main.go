@@ -30,6 +30,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	jsonOut := flag.String("json", "", "file to write machine-readable engine benchmark results (e.g. BENCH_results.json)")
+	compare := flag.String("compare", "", "baseline BENCH_results.json to print a per-engine delta table against (requires -json)")
 	flag.Parse()
 
 	if *list {
@@ -76,7 +77,7 @@ func main() {
 		}
 	}
 	if *jsonOut != "" {
-		if err := writeEngineBench(*jsonOut); err != nil {
+		if err := writeEngineBench(*jsonOut, *compare); err != nil {
 			fmt.Fprintf(os.Stderr, "cmbench: engine benchmark: %v\n", err)
 			exitCode = 1
 		}
@@ -89,7 +90,7 @@ func main() {
 // store's cold-load vs warm-search benchmark, and writes the
 // machine-readable report, so successive PRs can diff ns/op, HomAdds/s,
 // allocs/op and cold-load latency per engine kind.
-func writeEngineBench(path string) error {
+func writeEngineBench(path, baseline string) error {
 	report, err := harness.RunEngineBench(harness.DefaultEngineBenchSpecs())
 	if err != nil {
 		return err
@@ -105,15 +106,30 @@ func writeEngineBench(path string) error {
 		f.Close()
 		return err
 	}
+	if err := f.Close(); err != nil {
+		return err
+	}
 	for _, e := range report.Engines {
-		fmt.Printf("engine-bench %-16s %12.0f ns/op %14.0f HomAdds/s %6d allocs/op\n",
-			e.Engine, e.NsPerOp, e.HomAddsPerSec, e.AllocsPerOp)
+		fmt.Printf("engine-bench %-16s %12.0f ns/op %14.0f HomAdds/s %6d allocs/op %6d chunk-streams/op\n",
+			e.Engine, e.NsPerOp, e.HomAddsPerSec, e.AllocsPerOp, e.ChunkStreamsPerOp)
 	}
 	for _, c := range report.ColdLoads {
-		fmt.Printf("cold-load    %-16s %12.0f ns cold-load %10.0f ns warm-search  mmap=%v (%d-byte segment)\n",
-			c.Engine, c.ColdLoadNsPerOp, c.WarmSearchNsPerOp, c.Mapped, c.SegmentBytes)
+		fmt.Printf("cold-load    %-16s %12.0f ns cold-load %10.0f ns warm-search  mmap=%v madvise=%v (%d-byte segment)\n",
+			c.Engine, c.ColdLoadNsPerOp, c.WarmSearchNsPerOp, c.Mapped, c.Advised, c.SegmentBytes)
 	}
-	return f.Close()
+	fmt.Printf("query-bytes  factored %d legacy %d\n", report.QueryBytes, report.LegacyQueryBytes)
+	if baseline != "" {
+		old, err := harness.ReadEngineBenchReport(baseline)
+		if err != nil {
+			// The report itself was produced and closed; a missing or
+			// unreadable baseline degrades the run to "no delta table"
+			// rather than discarding the benchmark.
+			fmt.Fprintf(os.Stderr, "cmbench: skipping delta table: %v\n", err)
+			return nil
+		}
+		report.WriteDelta(os.Stdout, old)
+	}
+	return nil
 }
 
 func writeCSV(dir string, tbl *harness.Table) error {

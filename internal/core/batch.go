@@ -84,11 +84,13 @@ func ciphertextKey(ct *bfv.Ciphertext) string {
 }
 
 // DedupTokens rewrites content-identical match-token polynomials
-// across members (and residues) to one shared ring.Poly, and returns
-// the number of distinct tokens. Queries prepared from the same seed
-// for the same content carry identical tokens, so after deduplication
-// the batch kernel can recognise "same pattern, same token" pairs by
-// pointer identity and evaluate each such class once per chunk — the
+// across members to one shared ring.Poly, and returns the number of
+// distinct token polynomials. It covers both representations: legacy
+// expanded Tokens, and the factored DBTok plane and RHS comparands —
+// queries prepared from the same client seed against the same database
+// share their entire DBTok plane, so after deduplication the batch
+// kernel recognises "same chunk comparand, same RHS" pairs by pointer
+// identity and streams each chunk once for the whole group. This is the
 // comparison half of the dedup that DedupPatterns provides for the
 // addition half.
 // Tokens are keyed by a 64-bit content hash with a full coefficient
@@ -99,23 +101,28 @@ func ciphertextKey(ct *bfv.Ciphertext) string {
 func (bq *BatchQuery) DedupTokens() int {
 	buckets := make(map[uint64][]ring.Poly)
 	distinct := 0
+	dedup := func(p ring.Poly) ring.Poly {
+		h := polyHash(p)
+		for _, cand := range buckets[h] {
+			if polysEqual(cand, p) {
+				return cand
+			}
+		}
+		buckets[h] = append(buckets[h], p)
+		distinct++
+		return p
+	}
 	for _, q := range bq.Queries {
 		for _, toks := range q.Tokens {
 			for i, tok := range toks {
-				h := polyHash(tok)
-				shared := false
-				for _, cand := range buckets[h] {
-					if polysEqual(cand, tok) {
-						toks[i] = cand
-						shared = true
-						break
-					}
-				}
-				if !shared {
-					buckets[h] = append(buckets[h], tok)
-					distinct++
-				}
+				toks[i] = dedup(tok)
 			}
+		}
+		for i, tok := range q.DBTok {
+			q.DBTok[i] = dedup(tok)
+		}
+		for psi, rhs := range q.RHS {
+			q.RHS[psi] = dedup(rhs)
 		}
 	}
 	return distinct
@@ -225,80 +232,157 @@ func assembleBatchResults(bq *BatchQuery, bitmaps [][]*Bitset, memberStats []Sta
 	return out, total
 }
 
+// factorBatch normalises every batch member into the kernel-ready
+// factored form (FactorQuery) once per batched search, so chunk-range
+// jobs share the normalisation instead of redoing it. Native factored
+// members reference their (already deduplicated) RHS polynomials by
+// pointer; legacy members get *fresh* rows from the re-factoring, so
+// those are content-deduplicated here — identical legacy members (the
+// same hot query from several users) collapse back into one evaluation
+// class per (chunk comparand, RHS), keeping the kernel's word-OR
+// verdict propagation effective for old clients too.
+func factorBatch(r *ring.Ring, bq *BatchQuery, numChunks int) ([]*FactoredQuery, error) {
+	fqs := make([]*FactoredQuery, len(bq.Queries))
+	var buckets map[uint64][]ring.Poly
+	for mi, q := range bq.Queries {
+		fq, err := FactorQuery(r, q, numChunks)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch member %d: %w", mi, err)
+		}
+		if !q.Factored() {
+			if buckets == nil {
+				buckets = make(map[uint64][]ring.Poly)
+			}
+			for _, row := range fq.rows {
+				for i, p := range row {
+					h := polyHash(p)
+					shared := false
+					for _, cand := range buckets[h] {
+						if polysEqual(cand, p) {
+							row[i] = cand
+							shared = true
+							break
+						}
+					}
+					if !shared {
+						buckets[h] = append(buckets[h], p)
+					}
+				}
+			}
+		}
+		fqs[mi] = fq
+	}
+	return fqs, nil
+}
+
 // batchScratch is the reusable per-chunk state of the batched kernel:
-// one entry per evaluation class — a distinct (pattern, token) pair —
-// holding the pattern, the token's identity (its first-coefficient
-// address), and, once evaluated, the bitset words the class's hit bits
-// were written into. pairKey records each (member, variant) pair's
-// class from the counting pass. Lookups are a linear pointer scan —
-// the class set never exceeds the batch's (member × variant) count,
-// which is small. Scratches recycle through a sync.Pool so concurrent
-// batch jobs on a loaded server stop allocating slabs entirely.
+// one entry per evaluation class — a distinct (chunk comparand, RHS)
+// pair, identified by first-coefficient addresses — plus the distinct
+// chunk-comparand groups and the gather buffers one fused
+// SubCmpMultiBits call per group needs. Lookups are a linear pointer
+// scan — the class set never exceeds the batch's (member × variant)
+// count, which is small. Scratches recycle through a sync.Pool so
+// concurrent batch jobs on a loaded server stop allocating slabs
+// entirely.
 type batchScratch struct {
-	patterns []*bfv.Ciphertext
-	tokIDs   []*uint64
-	words    [][]uint64
-	pairKey  []int
+	pairClass []int // class index per (member, variant) pair, in order
+
+	classDb    []*uint64    // chunk-comparand identity per class
+	classRhs   []ring.Poly  // RHS comparand per class
+	classWords [][]uint64   // first pair's bitset words per class
+	classFirst []int        // pair index of the class's first pair
+	classOwner []int        // member the class's evaluation is accounted to
+
+	groupDb  []*uint64   // distinct chunk-comparand identities
+	groupTok []ring.Poly // the comparand polynomial per group
+
+	rhsList  []ring.Poly // gather buffer: one SubCmpMultiBits call per group
+	wordList [][]uint64
 }
 
 var batchScratchPool = sync.Pool{New: func() any { return &batchScratch{} }}
 
 // reset prepares the scratch for a new chunk.
 func (s *batchScratch) reset() {
-	s.patterns = s.patterns[:0]
-	s.tokIDs = s.tokIDs[:0]
-	s.words = s.words[:0]
-	s.pairKey = s.pairKey[:0]
+	s.pairClass = s.pairClass[:0]
+	s.classDb = s.classDb[:0]
+	s.classRhs = s.classRhs[:0]
+	s.classWords = s.classWords[:0]
+	s.classFirst = s.classFirst[:0]
+	s.classOwner = s.classOwner[:0]
+	s.groupDb = s.groupDb[:0]
+	s.groupTok = s.groupTok[:0]
+	s.rhsList = s.rhsList[:0]
+	s.wordList = s.wordList[:0]
 }
 
-// scrub drops all ciphertext/bitset references across the backing
+// scrub drops all polynomial/bitset references across the backing
 // arrays before pooling, so a cached scratch never pins query data.
 func (s *batchScratch) scrub() {
-	clear(s.patterns[:cap(s.patterns)])
-	clear(s.tokIDs[:cap(s.tokIDs)])
-	clear(s.words[:cap(s.words)])
+	clear(s.classDb[:cap(s.classDb)])
+	clear(s.classRhs[:cap(s.classRhs)])
+	clear(s.classWords[:cap(s.classWords)])
+	clear(s.groupDb[:cap(s.groupDb)])
+	clear(s.groupTok[:cap(s.groupTok)])
+	clear(s.rhsList[:cap(s.rhsList)])
+	clear(s.wordList[:cap(s.wordList)])
 	s.reset()
 }
 
-// class returns the evaluation-class index of (pattern, tok), adding a
-// new class when unseen.
-func (s *batchScratch) class(pattern *bfv.Ciphertext, tok ring.Poly) int {
-	id := &tok[0]
-	for k := range s.patterns {
-		if s.patterns[k] == pattern && s.tokIDs[k] == id {
+// class returns the evaluation-class index of (dtok, rhs), adding a new
+// class (and, when unseen, its comparand group) for new pairs.
+func (s *batchScratch) class(dtok, rhs ring.Poly, words []uint64, pair, owner int) int {
+	dbID, rhsID := &dtok[0], &rhs[0]
+	for k := range s.classDb {
+		if s.classDb[k] == dbID && &s.classRhs[k][0] == rhsID {
 			return k
 		}
 	}
-	s.patterns = append(s.patterns, pattern)
-	s.tokIDs = append(s.tokIDs, id)
-	s.words = append(s.words, nil)
-	return len(s.patterns) - 1
+	s.classDb = append(s.classDb, dbID)
+	s.classRhs = append(s.classRhs, rhs)
+	s.classWords = append(s.classWords, words)
+	s.classFirst = append(s.classFirst, pair)
+	s.classOwner = append(s.classOwner, owner)
+	found := false
+	for _, g := range s.groupDb {
+		if g == dbID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		s.groupDb = append(s.groupDb, dbID)
+		s.groupTok = append(s.groupTok, dtok)
+	}
+	return len(s.classDb) - 1
 }
 
 // searchChunkRangeBatch is the batched CPU kernel: one pass over chunks
 // [lo, hi) evaluating every (member, variant) pair per chunk, so each
 // ciphertext chunk is walked once per batch instead of once per query.
 //
-// Pairs are grouped into evaluation classes by (pattern, token)
-// pointer identity — after DedupPatterns/DedupTokens, the same hot
-// query issued by several users of one data owner collapses to one
-// class. Each class runs the fused ring.AddCmpBits exactly once per
-// chunk, writing hit bits into the first pair's bitset; every other
-// pair in the class receives the identical verdict as a word-wise OR
-// of that 64-windows-per-word range — ~n/64 word operations instead of
-// n fused add-compares. Only first ciphertext components are touched;
-// no sum is ever materialised.
+// Pairs are grouped into evaluation classes by (chunk comparand, RHS)
+// pointer identity — after DedupPatterns/DedupTokens, members prepared
+// by the same client against the same database share their whole DBTok
+// plane, so all their residues collapse into one comparand group. Each
+// group streams the chunk's first component through a single fused
+// ring.SubCmpMultiBits call covering every distinct RHS in the group;
+// duplicate pairs (the same hot query issued by several users) receive
+// the identical verdict as a word-wise OR of that 64-windows-per-word
+// range. Only first ciphertext components are touched; no difference
+// polynomial is ever materialised.
 //
 // bitmaps[m][v] is member m's bitset for its variant v (global window
 // indexing); memberStats[m] accumulates the work member m caused — a
-// class's homomorphic addition is accounted to the member that
-// evaluated it first, so the per-member stats add up to the batch
-// total.
-func searchChunkRangeBatch(r *ring.Ring, db *EncryptedDB, bq *BatchQuery, lo, hi int, bitmaps [][]*Bitset, memberStats []Stats) error {
+// group's homomorphic subtraction and chunk stream are accounted to the
+// member whose pair created the group, so per-member stats add up to
+// the batch total.
+func searchChunkRangeBatch(r *ring.Ring, db *EncryptedDB, bq *BatchQuery, fqs []*FactoredQuery, lo, hi int, bitmaps [][]*Bitset, memberStats []Stats) error {
 	n := r.N()
 	// Word-aligned chunk ranges let a class's verdict be copied as
 	// whole words. All bfv parameter sets have n ≥ 64 (a multiple of
-	// 64); for smaller rings classes simply re-run the fused kernel.
+	// 64); for smaller rings duplicate pairs simply re-run the fused
+	// kernel.
 	aligned := n%64 == 0
 	scratch := batchScratchPool.Get().(*batchScratch)
 	defer func() {
@@ -309,48 +393,77 @@ func searchChunkRangeBatch(r *ring.Ring, db *EncryptedDB, bq *BatchQuery, lo, hi
 		scratch.reset()
 		chunkC0 := db.Chunks[j].C[0]
 		base := j * n
-		for _, q := range bq.Queries {
-			for _, res := range q.Residues {
-				psi := PatternPhase(n, j, res, q.YBits)
-				pattern, ok := q.Patterns[psi]
-				if !ok {
-					return errMissingPhase(psi)
-				}
-				scratch.pairKey = append(scratch.pairKey, scratch.class(pattern, q.Tokens[res][j]))
-			}
-		}
+
+		// Pass 1 — classify every (member, variant) pair.
 		pair := 0
 		for mi, q := range bq.Queries {
-			for vi, res := range q.Residues {
-				k := scratch.pairKey[pair]
+			if len(q.Residues) == 0 {
+				continue
+			}
+			row := fqs[mi].Row(ChunkPhi(n, j, q.YBits))
+			if row == nil {
+				return fmt.Errorf("core: batch member %d: no RHS row for chunk %d", mi, j)
+			}
+			dtok := fqs[mi].DBTok[j]
+			for vi := range q.Residues {
+				k := scratch.class(dtok, row[vi], bitmaps[mi][vi].Words(), pair, mi)
+				scratch.pairClass = append(scratch.pairClass, k)
+				pair++
+			}
+		}
+
+		// Pass 2 — one fused streaming evaluation per comparand group,
+		// covering every distinct RHS of the group at once.
+		for g, dbID := range scratch.groupDb {
+			scratch.rhsList = scratch.rhsList[:0]
+			scratch.wordList = scratch.wordList[:0]
+			owner := -1
+			for k := range scratch.classDb {
+				if scratch.classDb[k] != dbID {
+					continue
+				}
+				if owner < 0 {
+					owner = scratch.classOwner[k]
+				}
+				scratch.rhsList = append(scratch.rhsList, scratch.classRhs[k])
+				scratch.wordList = append(scratch.wordList, scratch.classWords[k])
+			}
+			r.SubCmpMultiBits(chunkC0, scratch.groupTok[g], scratch.rhsList, scratch.wordList, base)
+			memberStats[owner].HomAdds++
+			memberStats[owner].ChunkStreams++
+		}
+
+		// Pass 3 — propagate verdicts to duplicate pairs.
+		pair = 0
+		for mi, q := range bq.Queries {
+			for vi := range q.Residues {
+				k := scratch.pairClass[pair]
+				memberStats[mi].CoeffCompares += int64(n)
+				if scratch.classFirst[k] == pair {
+					pair++
+					continue
+				}
 				pair++
 				words := bitmaps[mi][vi].Words()
-				switch {
-				case scratch.words[k] == nil:
-					// First pair of the class: fused add-compare, bits
-					// written straight into this pair's bitset.
-					r.AddCmpBits(chunkC0, scratch.patterns[k].C[0], q.Tokens[res][j], words, base)
-					scratch.words[k] = words
-					memberStats[mi].HomAdds++
-				case aligned:
-					// Identical (pattern, token) ⇒ identical verdict:
+				if aligned {
+					// Identical (comparand, RHS) ⇒ identical verdict:
 					// OR the evaluated word range across.
 					w0, w1 := base>>6, (base+n)>>6
-					src := scratch.words[k][w0:w1]
+					src := scratch.classWords[k][w0:w1]
 					dst := words[w0:w1]
 					for i, w := range src {
 						if w != 0 {
 							dst[i] |= w
 						}
 					}
-				default:
-					// Sub-word ring degree: chunk bit ranges share words,
-					// so re-run the fused kernel (a real addition — count
-					// it) instead of a word-copy.
-					r.AddCmpBits(chunkC0, scratch.patterns[k].C[0], q.Tokens[res][j], words, base)
+				} else {
+					// Sub-word ring degree: chunk bit ranges share
+					// words, so re-run the fused kernel (a real chunk
+					// stream — count it) instead of a word-copy.
+					r.SubCmpMultiBits(chunkC0, fqs[mi].DBTok[j], scratch.classRhs[k:k+1], [][]uint64{words}, base)
 					memberStats[mi].HomAdds++
+					memberStats[mi].ChunkStreams++
 				}
-				memberStats[mi].CoeffCompares += int64(n)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/mathutil"
@@ -251,7 +252,8 @@ func (c *Client) EncryptDatabase(data []byte, bitLen int) (*EncryptedDB, error) 
 
 // Query is the encrypted query artifact sent to the server (Algorithm 1,
 // lines 4-9): the negated, replicated query at every required shift
-// alignment, plus (in ModeSeededMatch) the match tokens.
+// alignment, plus (in ModeSeededMatch) the match tokens in either the
+// factored (DBTok/RHS) or the legacy expanded (Tokens) representation.
 type Query struct {
 	YBits     int
 	AlignBits int
@@ -263,11 +265,30 @@ type Query struct {
 	// Patterns maps phase psi -> encrypted negated replicated query
 	// pattern. The pattern for (variant s, chunk j) has phase
 	// psi = (16·n·j - s) mod y; variants share pattern ciphertexts with
-	// equal phase.
+	// equal phase. Required by the client-decrypt path (Server.Search)
+	// and by legacy-token queries; factored queries carry them
+	// in-process for diagnostics but never ship them (the fused
+	// seeded-match kernels run entirely on DBTok/RHS).
 	Patterns map[int]*bfv.Ciphertext
 	// Tokens[s][j] is the expected hit value of the first result component
-	// for variant residue s and chunk j (ModeSeededMatch only).
+	// for variant residue s and chunk j — the legacy expanded
+	// representation, R×NumChunks polynomials. Old clients still send
+	// it; the engines factor it server-side (FactorQuery) so even
+	// legacy queries get the residue-fused single-pass kernel.
 	Tokens map[int][]ring.Poly
+	// DBTok is the factored representation's per-chunk token plane:
+	// DBTok[j] = EncryptC0(allOnes, dbChunkSource(j)) - M, residue-
+	// independent, where M is a client-seed-derived mask poly. Together
+	// with RHS it replaces the R×NumChunks legacy tokens with
+	// NumChunks + numPhases polynomials — the R× query shrink.
+	DBTok []ring.Poly
+	// RHS maps phase psi -> the factored comparand
+	// RHS[psi] = patC0(psi) - Patterns[psi].C[0] + M. A window of chunk
+	// j hits variant s iff (c0[i] - DBTok[j][i]) mod q == RHS[psi][i]
+	// with psi = PatternPhase(n, j, s, y). The mask M keeps the server
+	// from reading Δ·pattern off the pair (without it, RHS would equal
+	// -Δ·patternPT exactly); see DESIGN.md on the leakage profile.
+	RHS map[int]ring.Poly
 	// HitsOnly suppresses candidate generation in the engines, which
 	// then return hit bitmaps only. Set by ShardedEngine on per-shard
 	// sub-queries (candidates are generated once over the merged
@@ -275,23 +296,44 @@ type Query struct {
 	HitsOnly bool
 }
 
-// SizeBytes returns the total bytes the client ships to the server for this
-// query (pattern ciphertexts plus match tokens).
+// Factored reports whether the query carries the factored token
+// representation (DBTok plane + per-phase RHS).
+func (q *Query) Factored() bool { return q.DBTok != nil }
+
+// HasTokens reports whether the query carries match tokens in either
+// representation, i.e. whether server-side index generation can run.
+func (q *Query) HasTokens() bool { return q.Tokens != nil || q.DBTok != nil }
+
+// SizeBytes returns the total bytes the client ships to the server for
+// this query. Factored queries ship only the DBTok plane and the
+// per-phase RHS polynomials — the seeded-match kernels never touch
+// pattern ciphertexts, so they stay home; legacy queries ship pattern
+// ciphertexts plus the expanded match tokens.
 func (q *Query) SizeBytes(p bfv.Params) int64 {
+	polyBytes := int64(p.N * p.QBytes())
+	if q.Factored() {
+		return int64(len(q.DBTok)+len(q.RHS)) * polyBytes
+	}
 	var total int64
 	for _, ct := range q.Patterns {
 		total += int64(ct.SizeBytes(p))
 	}
 	for _, toks := range q.Tokens {
-		total += int64(len(toks)) * int64(p.N*p.QBytes())
+		total += int64(len(toks)) * polyBytes
 	}
 	return total
 }
 
+// ChunkPhi returns phi = (16·n·j) mod y, the chunk-only part of the
+// pattern phase: PatternPhase(n, j, s, y) == (ChunkPhi(n, j, y) - s) mod y.
+// The factored kernels key their per-chunk RHS rows on phi.
+func ChunkPhi(n, j, y int) int {
+	return (SegmentBits * n * j) % y
+}
+
 // PatternPhase returns psi for variant residue s and chunk j.
 func PatternPhase(n, j, s, y int) int {
-	phi := (SegmentBits * n * j) % y
-	return ((phi-s)%y + y) % y
+	return ((ChunkPhi(n, j, y)-s)%y + y) % y
 }
 
 // buildPatternSegments constructs the n packed coefficients of the negated
@@ -362,6 +404,25 @@ func (c *Client) PrepareQuery(query []byte, queryBits, dbBitLen int) (*Query, er
 	}
 
 	if c.cfg.Mode == ModeSeededMatch {
+		if err := c.buildFactoredTokens(q); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// PrepareLegacyQuery builds a query in the legacy expanded-token
+// representation (Tokens[s][j], R×NumChunks polynomials) — what pre-
+// factoring clients send on the wire. It detects exactly the same hits
+// as PrepareQuery's factored form (the engines factor it server-side),
+// and exists for wire compatibility tests and old-client simulation.
+func (c *Client) PrepareLegacyQuery(query []byte, queryBits, dbBitLen int) (*Query, error) {
+	q, err := c.PrepareQuery(query, queryBits, dbBitLen)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Mode == ModeSeededMatch {
+		q.DBTok, q.RHS = nil, nil
 		if err := c.buildTokens(q); err != nil {
 			return nil, err
 		}
@@ -369,32 +430,104 @@ func (c *Client) PrepareQuery(query []byte, queryBits, dbBitLen int) (*Query, er
 	return q, nil
 }
 
-// buildTokens computes the "encrypted match polynomial" of §4.2.2 for every
-// (variant, chunk): the exact first-component value the homomorphic
-// addition produces when a coefficient sums to the all-ones value t-1.
-// The client re-derives the ciphertext randomness of both operands from its
-// seed (via bfv's documented sampling order) without needing the database
-// plaintext.
-func (c *Client) buildTokens(q *Query) error {
+// encryptC0Calls counts EncryptC0 invocations of the token builders; the
+// client-prep tests use it to pin the R× reduction of the hoisted /
+// factored builders (one derivation per chunk, not per chunk per residue).
+var encryptC0Calls atomic.Int64
+
+// tokenPlaintexts encodes the two plaintexts every token builder needs:
+// the all-ones hit value t-1 and zero (for the pattern-noise component).
+func (c *Client) tokenPlaintexts() (onesPT, zeroPT *bfv.Plaintext, err error) {
 	p := c.cfg.Params
-	n := p.N
-	allOnes := make([]uint64, n)
+	allOnes := make([]uint64, p.N)
 	for i := range allOnes {
 		allOnes[i] = p.T - 1
 	}
-	onesPT, err := c.enc.Encode(allOnes)
+	if onesPT, err = c.enc.Encode(allOnes); err != nil {
+		return nil, nil, err
+	}
+	if zeroPT, err = c.enc.Encode(nil); err != nil {
+		return nil, nil, err
+	}
+	return onesPT, zeroPT, nil
+}
+
+// tokenMask derives the client's token mask M: a uniform polynomial,
+// deterministic per client seed (not per query), that blinds both halves
+// of the factored representation. Sharing M across a client's queries is
+// what lets batch deduplication share one DBTok plane between members;
+// it leaks no more than the legacy representation already did, because
+// legacy tokens expose exactly the same cross-phase and cross-query
+// differences (see DESIGN.md §4.3).
+func (c *Client) tokenMask() ring.Poly {
+	m := c.ring.NewPoly()
+	c.ring.UniformPoly(c.src.Fork("query").Fork("token-mask"), m)
+	return m
+}
+
+// buildFactoredTokens computes the factored form of the "encrypted match
+// polynomial" of §4.2.2. The legacy token for (variant s, chunk j) is
+// dbC0[j] + patC0[psi(j,s)] with dbC0[j] = EncryptC0(t-1, dbSource(j))
+// and patC0[psi] = EncryptC0(0, patternSource(psi)) — a sum whose parts
+// depend only on the chunk and only on the phase. Shipping the parts
+// instead of the R×NumChunks sums shrinks the query by ~R× and lets the
+// server evaluate every residue in one pass over each chunk:
+//
+//	(c0 + pattern.C0) == dbC0 + patC0   per (§4.2.2)
+//	⇔ (c0 - DBTok[j]) == RHS[psi]      with DBTok[j] = dbC0[j] - M,
+//	                                   RHS[psi] = patC0[psi] - pattern.C0[psi] + M.
+//
+// M is the client's token mask; without it RHS would equal -Δ·patternPT
+// and hand the server the query plaintext.
+func (c *Client) buildFactoredTokens(q *Query) error {
+	onesPT, zeroPT, err := c.tokenPlaintexts()
 	if err != nil {
 		return err
 	}
-	zeroPT, err := c.enc.Encode(nil)
+	mask := c.tokenMask()
+	q.DBTok = make([]ring.Poly, q.NumChunks)
+	for j := 0; j < q.NumChunks; j++ {
+		dbC0 := c.encryptor.EncryptC0(onesPT, c.dbChunkSource(j))
+		encryptC0Calls.Add(1)
+		c.ring.Sub(dbC0, mask, dbC0)
+		q.DBTok[j] = dbC0
+	}
+	q.RHS = make(map[int]ring.Poly, len(q.Patterns))
+	for psi, pattern := range q.Patterns {
+		rhs := c.encryptor.EncryptC0(zeroPT, c.patternSource(psi))
+		encryptC0Calls.Add(1)
+		c.ring.Sub(rhs, pattern.C[0], rhs)
+		c.ring.Add(rhs, mask, rhs)
+		q.RHS[psi] = rhs
+	}
+	return nil
+}
+
+// buildTokens computes the legacy expanded tokens: for every (variant,
+// chunk) the exact first-component value the homomorphic addition
+// produces when a coefficient sums to the all-ones value t-1. The client
+// re-derives the ciphertext randomness of both operands from its seed
+// (via bfv's documented sampling order) without needing the database
+// plaintext. Both per-chunk and per-phase components are derived once
+// and summed per (variant, chunk) — EncryptC0 runs NumChunks+numPhases
+// times, not once per residue per chunk.
+func (c *Client) buildTokens(q *Query) error {
+	n := c.cfg.Params.N
+	onesPT, zeroPT, err := c.tokenPlaintexts()
 	if err != nil {
 		return err
 	}
 
-	// Cache the pattern-noise component per phase: EncryptC0(0, patternSrc).
+	// One derivation per chunk and per phase, summed below.
+	dbC0 := make([]ring.Poly, q.NumChunks)
+	for j := range dbC0 {
+		dbC0[j] = c.encryptor.EncryptC0(onesPT, c.dbChunkSource(j))
+		encryptC0Calls.Add(1)
+	}
 	patternC0 := make(map[int]ring.Poly, len(q.Patterns))
 	for psi := range q.Patterns {
 		patternC0[psi] = c.encryptor.EncryptC0(zeroPT, c.patternSource(psi))
+		encryptC0Calls.Add(1)
 	}
 
 	q.Tokens = make(map[int][]ring.Poly, len(q.Residues))
@@ -402,10 +535,9 @@ func (c *Client) buildTokens(q *Query) error {
 		toks := make([]ring.Poly, q.NumChunks)
 		for j := 0; j < q.NumChunks; j++ {
 			// Expected hit value: noise(db_j) + Δ(t-1) + noise(pattern).
-			dbC0 := c.encryptor.EncryptC0(onesPT, c.dbChunkSource(j))
 			psi := PatternPhase(n, j, s, q.YBits)
 			tok := c.ring.NewPoly()
-			c.ring.Add(dbC0, patternC0[psi], tok)
+			c.ring.Add(dbC0[j], patternC0[psi], tok)
 			toks[j] = tok
 		}
 		q.Tokens[s] = toks

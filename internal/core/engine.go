@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/ring"
@@ -98,8 +98,9 @@ func NewEngine(params bfv.Params, db *EncryptedDB, spec EngineSpec) (Engine, err
 }
 
 // validateSearchQuery is the shared request validation of every engine:
-// shape agreement between query and database, plus the match tokens the
-// server-side index generation needs.
+// shape agreement between query and database, plus the match tokens —
+// factored (DBTok/RHS) or legacy (Tokens) — that server-side index
+// generation needs.
 func validateSearchQuery(db *EncryptedDB, q *Query, needTokens bool) error {
 	if q.YBits < 1 {
 		return fmt.Errorf("core: query has invalid length %d", q.YBits)
@@ -112,46 +113,63 @@ func validateSearchQuery(db *EncryptedDB, q *Query, needTokens bool) error {
 		return fmt.Errorf("core: query prepared for %d-bit database, have %d bits",
 			q.DBBitLen, db.BitLen)
 	}
-	if needTokens && q.Tokens == nil {
+	if !needTokens {
+		return nil
+	}
+	if q.Factored() {
+		if len(q.DBTok) != len(db.Chunks) {
+			return fmt.Errorf("core: query DBTok plane has %d chunks, database has %d",
+				len(q.DBTok), len(db.Chunks))
+		}
+		return nil
+	}
+	if q.Tokens == nil {
 		return errNoTokens
 	}
-	if needTokens {
-		for _, res := range q.Residues {
-			if toks, ok := q.Tokens[res]; !ok || len(toks) != len(db.Chunks) {
-				return errBadTokens(res)
-			}
+	for _, res := range q.Residues {
+		if toks, ok := q.Tokens[res]; !ok || len(toks) != len(db.Chunks) {
+			return errBadTokens(res)
 		}
 	}
 	return nil
 }
 
-// searchChunkRange is the shared CPU kernel: for one shift variant it
-// executes the fused homomorphic addition + index generation over
-// chunks [lo, hi) of db, setting hit bits in bm (global window
+// searchChunkRange is the shared CPU kernel: it executes index
+// generation for every shift variant at once over chunks [lo, hi) of
+// db, setting hit bits in the per-residue-index bitsets (global window
 // indexing). All CPU engines — serial, pool, sharded — are schedules
 // over this kernel, mirroring how the paper maps one algorithm onto
 // different substrates.
 //
 // Seeded-match index generation reads only the first ciphertext
 // component, so the kernel never touches C[1] — half the ciphertext
-// bytes — and ring.AddCmpBits folds the addition and the token
-// comparison into one streaming pass with no intermediate sum store:
-// the only writes are hit bits in the packed bitset. With a compacted
-// database the reads are one sequential walk of the C0 arena plane.
-func searchChunkRange(r *ring.Ring, db *EncryptedDB, q *Query, res, lo, hi int, bm *Bitset) (Stats, error) {
+// bytes — and ring.SubCmpMultiBits folds the homomorphic subtraction
+// and all R token comparisons into one streaming pass with no
+// intermediate store: chunk j's first component and DBTok[j] are each
+// read once per search (not once per residue), the R cache-resident RHS
+// polynomials are the only other operands, and the only writes are hit
+// bits in the packed bitsets. With a compacted database the reads are
+// one sequential walk of the C0 arena plane.
+func searchChunkRange(r *ring.Ring, db *EncryptedDB, q *Query, fq *FactoredQuery, lo, hi int, bms []*Bitset) (Stats, error) {
 	var st Stats
+	if len(bms) == 0 {
+		return st, nil
+	}
 	n := r.N()
-	toks := q.Tokens[res]
-	words := bm.Words()
+	y := q.YBits
+	words := make([][]uint64, len(bms))
+	for vi, bm := range bms {
+		words[vi] = bm.Words()
+	}
 	for j := lo; j < hi; j++ {
-		psi := PatternPhase(n, j, res, q.YBits)
-		pattern, ok := q.Patterns[psi]
-		if !ok {
-			return st, errMissingPhase(psi)
+		row := fq.Row(ChunkPhi(n, j, y))
+		if row == nil {
+			return st, fmt.Errorf("core: factored query has no RHS row for chunk %d", j)
 		}
-		r.AddCmpBits(db.Chunks[j].C[0], pattern.C[0], toks[j], words, j*n)
+		r.SubCmpMultiBits(db.Chunks[j].C[0], fq.DBTok[j], row, words, j*n)
 		st.HomAdds++
-		st.CoeffCompares += int64(n)
+		st.ChunkStreams++
+		st.CoeffCompares += int64(len(row)) * int64(n)
 	}
 	return st, nil
 }
@@ -161,24 +179,34 @@ func (s *Stats) add(o Stats) {
 	s.HomAdds += o.HomAdds
 	s.CoeffCompares += o.CoeffCompares
 	s.ResultBytes += o.ResultBytes
+	s.ChunkStreams += o.ChunkStreams
 }
 
-// statCounter is the embeddable cumulative-stats half of Engine.
+// statCounter is the embeddable cumulative-stats half of Engine. The
+// counters are atomics, not a mutex-guarded struct: concurrent searches
+// (the pool engine under a loaded server) record without serialising on
+// a lock.
 type statCounter struct {
-	mu  sync.Mutex
-	cum Stats
+	homAdds       atomic.Int64
+	coeffCompares atomic.Int64
+	resultBytes   atomic.Int64
+	chunkStreams  atomic.Int64
 }
 
 func (c *statCounter) record(st Stats) {
-	c.mu.Lock()
-	c.cum.add(st)
-	c.mu.Unlock()
+	c.homAdds.Add(int64(st.HomAdds))
+	c.coeffCompares.Add(st.CoeffCompares)
+	c.resultBytes.Add(st.ResultBytes)
+	c.chunkStreams.Add(st.ChunkStreams)
 }
 
 func (c *statCounter) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cum
+	return Stats{
+		HomAdds:       int(c.homAdds.Load()),
+		CoeffCompares: c.coeffCompares.Load(),
+		ResultBytes:   c.resultBytes.Load(),
+		ChunkStreams:  c.chunkStreams.Load(),
+	}
 }
 
 // SerialEngine executes searches on the calling goroutine — the paper's
@@ -198,23 +226,29 @@ func NewSerialEngine(params bfv.Params, db *EncryptedDB) *SerialEngine {
 	return &SerialEngine{params: params, ring: params.Ring(), db: db}
 }
 
-// SearchAndIndex implements Engine.
+// SearchAndIndex implements Engine: one residue-fused pass over every
+// chunk, all shift variants evaluated per chunk stream.
 func (e *SerialEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	if err := validateSearchQuery(e.db, q, true); err != nil {
+		return nil, err
+	}
+	fq, err := FactorQuery(e.ring, q, len(e.db.Chunks))
+	if err != nil {
 		return nil, err
 	}
 	n := e.params.N
 	numWindows := len(e.db.Chunks) * n
 	ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues))}
-	for _, res := range q.Residues {
-		bm := NewBitset(numWindows)
-		st, err := searchChunkRange(e.ring, e.db, q, res, 0, len(e.db.Chunks), bm)
-		if err != nil {
-			return nil, err
-		}
-		ir.Stats.add(st)
-		ir.Hits[res] = bm
+	bms := make([]*Bitset, len(q.Residues))
+	for vi, res := range q.Residues {
+		bms[vi] = NewBitset(numWindows)
+		ir.Hits[res] = bms[vi]
 	}
+	st, err := searchChunkRange(e.ring, e.db, q, fq, 0, len(e.db.Chunks), bms)
+	if err != nil {
+		return nil, err
+	}
+	ir.Stats.add(st)
 	if !q.HitsOnly {
 		ir.Candidates = Candidates(ir.Hits, q.DBBitLen, q.YBits, q.AlignBits)
 	}
@@ -230,9 +264,13 @@ func (e *SerialEngine) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, erro
 		return nil, err
 	}
 	numChunks := len(e.db.Chunks)
+	fqs, err := factorBatch(e.ring, bq, numChunks)
+	if err != nil {
+		return nil, err
+	}
 	bitmaps := newBatchBitmaps(bq, numChunks*e.params.N)
 	memberStats := make([]Stats, len(bq.Queries))
-	if err := searchChunkRangeBatch(e.ring, e.db, bq, 0, numChunks, bitmaps, memberStats); err != nil {
+	if err := searchChunkRangeBatch(e.ring, e.db, bq, fqs, 0, numChunks, bitmaps, memberStats); err != nil {
 		return nil, err
 	}
 	results, total := assembleBatchResults(bq, bitmaps, memberStats)

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"ciphermatch/internal/ring"
+)
+
+// FactoredQuery is the kernel-ready factored form of a seeded-match
+// query: the per-chunk DBTok plane plus, for every chunk phase phi that
+// occurs in the database, one RHS polynomial per shift variant. The
+// residue-fused kernels stream chunk j's first component and DBTok[j]
+// once and compare the difference against Row(phi_j) — all residues in
+// a single arena pass.
+//
+// Both query representations normalise to it: native factored queries
+// by phase lookup (pointer arrangement only), legacy expanded-token
+// queries by server-side re-factoring around a reference residue — so
+// old clients get the single-pass kernel too.
+type FactoredQuery struct {
+	// DBTok[j] is the chunk-dependent comparand subtracted from chunk
+	// j's first component. For native queries it is the client's masked
+	// plane; for re-factored legacy queries it is the reference
+	// residue's token row.
+	DBTok []ring.Poly
+	// rows[phi][ri] is the comparand for residue index ri on chunks
+	// with ChunkPhi == phi. Keyed by map, not a y-sized array: y comes
+	// off the wire, and the number of phases actually occurring is
+	// bounded by the chunk count, not by y.
+	rows map[int][]ring.Poly
+}
+
+// Row returns the per-residue-index RHS polynomials for chunks of phase
+// phi (nil when no chunk in range has that phase).
+func (fq *FactoredQuery) Row(phi int) []ring.Poly { return fq.rows[phi] }
+
+func errMissingRHS(psi int) error {
+	return fmt.Errorf("core: query missing RHS for phase %d", psi)
+}
+
+// FactorQuery normalises q — in either token representation — into the
+// kernel-ready factored form for a database of numChunks chunks. The
+// query must already have passed validateSearchQuery. Factoring a
+// legacy query costs O(phases × residues) ring subtractions once per
+// search; the fused kernel then reads the ciphertext arena once instead
+// of once per residue.
+func FactorQuery(r *ring.Ring, q *Query, numChunks int) (*FactoredQuery, error) {
+	if len(q.Residues) == 0 {
+		return &FactoredQuery{}, nil
+	}
+	y := q.YBits
+	n := r.N()
+	fq := &FactoredQuery{rows: make(map[int][]ring.Poly)}
+
+	if q.Factored() {
+		fq.DBTok = q.DBTok
+		for j := 0; j < numChunks; j++ {
+			phi := ChunkPhi(n, j, y)
+			if fq.rows[phi] != nil {
+				continue
+			}
+			row := make([]ring.Poly, len(q.Residues))
+			for ri, s := range q.Residues {
+				psi := ((phi-s)%y + y) % y
+				rhs, ok := q.RHS[psi]
+				if !ok {
+					return nil, errMissingRHS(psi)
+				}
+				row[ri] = rhs
+			}
+			fq.rows[phi] = row
+		}
+		return fq, nil
+	}
+
+	// Legacy re-factoring around reference residue s0: with
+	// tok[s][j] = dbC0[j] + patC0[psi(j,s)], the hit condition
+	// c0 + b[psi(j,s)] == tok[s][j] rewrites against the s0 row as
+	//
+	//	c0 - tok[s0][j] == tok[s][j] - tok[s0][j] - b[psi(j,s)]
+	//
+	// whose right side depends only on (phi_j, s) — token differences
+	// cancel the chunk part — so one polynomial per (phase, residue)
+	// serves every chunk of that phase.
+	s0 := q.Residues[0]
+	base := q.Tokens[s0]
+	fq.DBTok = base
+	for j := 0; j < numChunks; j++ {
+		phi := ChunkPhi(n, j, y)
+		if fq.rows[phi] != nil {
+			continue
+		}
+		row := make([]ring.Poly, len(q.Residues))
+		for ri, s := range q.Residues {
+			psi := ((phi-s)%y + y) % y
+			pattern, ok := q.Patterns[psi]
+			if !ok {
+				return nil, errMissingPhase(psi)
+			}
+			rhs := r.NewPoly()
+			r.Sub(q.Tokens[s][j], base[j], rhs)
+			r.Sub(rhs, pattern.C[0], rhs)
+			row[ri] = rhs
+		}
+		fq.rows[phi] = row
+	}
+	return fq, nil
+}

@@ -35,9 +35,13 @@ type PoolEngine struct {
 
 var _ Engine = (*PoolEngine)(nil)
 
-// poolCall is the shared state of one SearchAndIndex invocation.
+// poolCall is the shared state of one SearchAndIndex invocation. Jobs
+// are chunk ranges covering every shift variant at once (the factored
+// kernel fuses residues), so a search enqueues R× fewer jobs than the
+// per-(variant, range) schedule did and workers synchronise R× less.
 type poolCall struct {
 	q       *Query
+	fq      *FactoredQuery
 	db      *EncryptedDB
 	bitmaps []*Bitset // per variant index, global window indexing
 	pending sync.WaitGroup
@@ -53,6 +57,7 @@ type poolCall struct {
 // inside each job.
 type poolBatchCall struct {
 	bq      *BatchQuery
+	fqs     []*FactoredQuery
 	db      *EncryptedDB
 	bitmaps [][]*Bitset // [member][variant], global window indexing
 	pending sync.WaitGroup
@@ -62,14 +67,13 @@ type poolBatchCall struct {
 	stats    []Stats // per member
 }
 
-// poolBatch is one unit of queued work: chunks [lo, hi) of one variant
-// (call) or of every member of a batched search (bcall). Exactly one of
-// call/bcall is set.
+// poolBatch is one unit of queued work: chunks [lo, hi) of every
+// variant of one search (call) or of every member of a batched search
+// (bcall). Exactly one of call/bcall is set.
 type poolBatch struct {
-	call    *poolCall
-	variant int // index into q.Residues
-	bcall   *poolBatchCall
-	lo, hi  int
+	call   *poolCall
+	bcall  *poolBatchCall
+	lo, hi int
 }
 
 // NewPoolEngine creates a pool engine with the given number of workers
@@ -102,7 +106,7 @@ func (e *PoolEngine) worker() {
 	for b := range e.jobs {
 		if bc := b.bcall; bc != nil {
 			local := make([]Stats, len(bc.bq.Queries))
-			err := searchChunkRangeBatch(r, bc.db, bc.bq, b.lo, b.hi, bc.bitmaps, local)
+			err := searchChunkRangeBatch(r, bc.db, bc.bq, bc.fqs, b.lo, b.hi, bc.bitmaps, local)
 			bc.mu.Lock()
 			if err != nil && bc.firstErr == nil {
 				bc.firstErr = err
@@ -115,8 +119,7 @@ func (e *PoolEngine) worker() {
 			continue
 		}
 		c := b.call
-		res := c.q.Residues[b.variant]
-		st, err := searchChunkRange(r, c.db, c.q, res, b.lo, b.hi, c.bitmaps[b.variant])
+		st, err := searchChunkRange(r, c.db, c.q, c.fq, b.lo, b.hi, c.bitmaps)
 		c.mu.Lock()
 		if err != nil && c.firstErr == nil {
 			c.firstErr = err
@@ -129,13 +132,14 @@ func (e *PoolEngine) worker() {
 
 // batchSize picks the chunk-range granularity: enough batches to keep
 // every worker busy (~4 per worker) without degenerating to one chunk
-// per batch on large databases. Ranges are additionally aligned so
-// every job's bit range starts on a 64-window word boundary — at ring
-// degrees below 64 a chunk is less than one bitset word, and two
-// workers must never OR into the same word.
-func (e *PoolEngine) batchSize(numChunks, numVariants int) int {
-	total := numChunks * numVariants
-	per := total / (4 * e.workers)
+// per batch on large databases. The residue-fused kernel evaluates
+// every variant inside one chunk range, so ranges split on chunks only.
+// Ranges are additionally aligned so every job's bit range starts on a
+// 64-window word boundary — at ring degrees below 64 a chunk is less
+// than one bitset word, and two workers must never OR into the same
+// word.
+func (e *PoolEngine) batchSize(numChunks int) int {
+	per := numChunks / (4 * e.workers)
 	if per < 1 {
 		per = 1
 	}
@@ -148,18 +152,24 @@ func (e *PoolEngine) batchSize(numChunks, numVariants int) int {
 	return per
 }
 
-// SearchAndIndex implements Engine.
+// SearchAndIndex implements Engine. Jobs split on chunk ranges only —
+// the residue-fused kernel evaluates every variant per chunk stream —
+// so the queue sees numChunks/batch jobs, not residues× that.
 func (e *PoolEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	if err := validateSearchQuery(e.db, q, true); err != nil {
 		return nil, err
 	}
+	fq, err := FactorQuery(e.params.Ring(), q, len(e.db.Chunks))
+	if err != nil {
+		return nil, err
+	}
 	numChunks := len(e.db.Chunks)
 	numWindows := numChunks * e.params.N
-	c := &poolCall{q: q, db: e.db, bitmaps: make([]*Bitset, len(q.Residues))}
+	c := &poolCall{q: q, fq: fq, db: e.db, bitmaps: make([]*Bitset, len(q.Residues))}
 	for vi := range c.bitmaps {
 		c.bitmaps[vi] = NewBitset(numWindows)
 	}
-	batch := e.batchSize(numChunks, len(q.Residues))
+	batch := e.batchSize(numChunks)
 	// Enqueue under the read half of closeMu: Close excludes itself with
 	// the write half, so sends can never hit a closed channel. Workers
 	// keep draining while this lock is held, so sends always progress.
@@ -168,15 +178,13 @@ func (e *PoolEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 		e.closeMu.RUnlock()
 		return nil, fmt.Errorf("core: pool engine is closed")
 	}
-	for vi := range q.Residues {
-		for lo := 0; lo < numChunks; lo += batch {
-			hi := lo + batch
-			if hi > numChunks {
-				hi = numChunks
-			}
-			c.pending.Add(1)
-			e.jobs <- poolBatch{call: c, variant: vi, lo: lo, hi: hi}
+	for lo := 0; lo < numChunks; lo += batch {
+		hi := lo + batch
+		if hi > numChunks {
+			hi = numChunks
 		}
+		c.pending.Add(1)
+		e.jobs <- poolBatch{call: c, lo: lo, hi: hi}
 	}
 	e.closeMu.RUnlock()
 	c.pending.Wait()
@@ -206,16 +214,22 @@ func (e *PoolEngine) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, error)
 	if len(bq.Queries) == 0 {
 		return nil, nil
 	}
+	fqs, err := factorBatch(e.params.Ring(), bq, len(e.db.Chunks))
+	if err != nil {
+		return nil, err
+	}
 	numChunks := len(e.db.Chunks)
 	c := &poolBatchCall{
 		bq:      bq,
+		fqs:     fqs,
 		db:      e.db,
 		bitmaps: newBatchBitmaps(bq, numChunks*e.params.N),
 		stats:   make([]Stats, len(bq.Queries)),
 	}
 	// Jobs split by chunk ranges only: members and variants iterate
-	// inside each job so the per-chunk sum cache sees the whole batch.
-	batch := e.batchSize(numChunks, 1)
+	// inside each job so the per-chunk evaluation cache sees the whole
+	// batch.
+	batch := e.batchSize(numChunks)
 	e.closeMu.RLock()
 	if e.closed {
 		e.closeMu.RUnlock()

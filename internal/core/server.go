@@ -22,14 +22,24 @@ func errBadTokens(res int) error {
 // Stats accumulates the operation counts of a search; the performance model
 // (internal/perfmodel) consumes these to compose end-to-end latency.
 type Stats struct {
-	// HomAdds is the number of homomorphic additions executed (the only
-	// homomorphic operation CIPHERMATCH uses, §4.2.2).
+	// HomAdds is the number of homomorphic ring operations executed (the
+	// only homomorphic operation CIPHERMATCH uses, §4.2.2). With the
+	// residue-fused kernel this is one per chunk streamed — the single
+	// subtraction whose difference is compared against every residue's
+	// RHS — instead of one per (chunk, residue).
 	HomAdds int
 	// CoeffCompares is the number of coefficient comparisons performed by
-	// index generation.
+	// index generation (still one per coefficient per residue).
 	CoeffCompares int64
 	// ResultBytes is the volume of result ciphertexts produced.
 	ResultBytes int64
+	// ChunkStreams counts how many times a database chunk's first
+	// component was streamed from the ciphertext arena. A single-pass
+	// search streams each chunk once, so ChunkStreams == NumChunks per
+	// search regardless of the residue count — the arena-traffic
+	// invariant the factored representation buys (the legacy kernel
+	// streamed R× that).
+	ChunkStreams int64
 }
 
 // Server holds the encrypted database and executes secure string search

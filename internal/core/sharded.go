@@ -85,12 +85,14 @@ func NewShardedEngine(params bfv.Params, db *EncryptedDB, numShards int, factory
 }
 
 // shardQuery rewrites a query for chunks [lo, hi): local chunk j stands
-// for global chunk lo+j, so every local pattern phase maps to the global
-// phase shifted by (16·n·lo) mod y, and the token slices narrow to the
-// range. Pattern and token ciphertexts are shared, not copied.
+// for global chunk lo+j, so every local pattern/RHS phase maps to the
+// global phase shifted by (16·n·lo) mod y, and the DBTok/token slices
+// narrow to the range. Polynomials and ciphertexts are shared, not
+// copied — which also keeps batch-level pointer dedup effective inside
+// every shard.
 func shardQuery(q *Query, n int, sh *engineShard) *Query {
 	y := q.YBits
-	shift := (SegmentBits * n * sh.lo) % y
+	shift := ChunkPhi(n, sh.lo, y)
 	sub := &Query{
 		YBits:     q.YBits,
 		AlignBits: q.AlignBits,
@@ -108,6 +110,21 @@ func shardQuery(q *Query, n int, sh *engineShard) *Query {
 			}
 			if ct, ok := q.Patterns[(psiLocal+shift)%y]; ok {
 				sub.Patterns[psiLocal] = ct
+			}
+		}
+	}
+	if q.DBTok != nil {
+		sub.DBTok = q.DBTok[sh.lo:sh.hi]
+		sub.RHS = make(map[int]ring.Poly, len(q.RHS))
+		for _, res := range q.Residues {
+			for j := 0; j < sub.NumChunks; j++ {
+				psiLocal := PatternPhase(n, j, res, y)
+				if _, ok := sub.RHS[psiLocal]; ok {
+					continue
+				}
+				if rhs, ok := q.RHS[(psiLocal+shift)%y]; ok {
+					sub.RHS[psiLocal] = rhs
+				}
 			}
 		}
 	}

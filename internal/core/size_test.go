@@ -8,12 +8,15 @@ import (
 )
 
 // TestQuerySizeAccounting pins down the communication-volume arithmetic:
-// pattern ciphertexts cost one ciphertext each, and seeded-match tokens
-// add one polynomial per (variant, chunk) — the trade the paper's
-// server-side index generation makes.
+// client-decrypt queries ship one ciphertext per pattern phase;
+// seeded-match queries ship the factored tokens only — one polynomial
+// per chunk (DBTok) plus one per phase (RHS), pattern ciphertexts
+// staying home; legacy seeded queries ship patterns plus one token
+// polynomial per (variant, chunk).
 func TestQuerySizeAccounting(t *testing.T) {
 	p := bfv.ParamsToy()
 	dbBits := 2048 // 2 toy chunks
+	polyBytes := int64(p.N * p.QBytes())
 
 	plain := Config{Params: p, AlignBits: 16, Mode: ModeClientDecrypt}
 	c1, _ := NewClient(plain, rng.NewSourceFromString("size"))
@@ -32,9 +35,21 @@ func TestQuerySizeAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tokenBytes := int64(len(q2.Residues)) * 2 /*chunks*/ * int64(p.N*p.QBytes())
-	if got := q2.SizeBytes(p); got != wantPatterns+tokenBytes {
-		t.Fatalf("SeededMatch query size = %d, want %d", got, wantPatterns+tokenBytes)
+	wantFactored := int64(len(q2.DBTok)+len(q2.RHS)) * polyBytes
+	if got := q2.SizeBytes(p); got != wantFactored {
+		t.Fatalf("SeededMatch query size = %d, want %d", got, wantFactored)
+	}
+
+	legacy, err := c2.PrepareLegacyQuery([]byte{0xAA, 0xBB}, 16, dbBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokenBytes := int64(len(legacy.Residues)) * 2 /*chunks*/ * polyBytes
+	if got := legacy.SizeBytes(p); got != wantPatterns+tokenBytes {
+		t.Fatalf("legacy SeededMatch query size = %d, want %d", got, wantPatterns+tokenBytes)
+	}
+	if got := q2.SizeBytes(p); got >= legacy.SizeBytes(p) {
+		t.Fatalf("factored query (%d bytes) not smaller than legacy (%d bytes)", got, legacy.SizeBytes(p))
 	}
 }
 

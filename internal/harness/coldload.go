@@ -23,6 +23,11 @@ type ColdLoadResult struct {
 	ColdLoadNsPerOp   float64 `json:"cold_load_ns_per_op"`
 	WarmSearchNsPerOp float64 `json:"warm_search_ns_per_op"`
 	Mapped            bool    `json:"mmap"`
+	// Advised reports whether madvise hints (MADV_SEQUENTIAL at open,
+	// WILLNEED before the first search) reached the kernel for the
+	// mapped arena, so cold-load numbers are comparable across
+	// platforms with and without the hints.
+	Advised bool `json:"madvise"`
 }
 
 // RunColdLoadBench writes the standard fixture database to a segment
@@ -68,6 +73,9 @@ func RunColdLoadBench(specs []string) ([]ColdLoadResult, error) {
 			if err != nil {
 				return nil, nil, err
 			}
+			// Mirror the durable store's load path: the cold load is
+			// always followed by a search streaming the arena.
+			seg.AdviseWillNeed()
 			sdb, err := seg.DB()
 			if err != nil {
 				seg.Close()
@@ -86,7 +94,7 @@ func RunColdLoadBench(specs []string) ([]ColdLoadResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("harness: cold load %s: %w", specStr, err)
 		}
-		res := ColdLoadResult{Engine: specStr, SegmentBytes: st.Size(), Mapped: seg.Mapped()}
+		res := ColdLoadResult{Engine: specStr, SegmentBytes: st.Size(), Mapped: seg.Mapped(), Advised: seg.Advised()}
 		warm := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ir, err := eng.SearchAndIndex(q)

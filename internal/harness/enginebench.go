@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"testing"
 
@@ -25,6 +26,10 @@ type EngineBenchResult struct {
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	HomAddsPerOp  int     `json:"hom_adds_per_op"`
 	HomAddsPerSec float64 `json:"hom_adds_per_sec"`
+	// ChunkStreamsPerOp is how many chunk C0 polynomials one search
+	// streams from the ciphertext arena — numChunks for the fused
+	// single-pass kernels, residues× that for a per-residue schedule.
+	ChunkStreamsPerOp int64 `json:"chunk_streams_per_op,omitempty"`
 }
 
 // EngineBenchReport is the top-level BENCH_results.json document.
@@ -33,6 +38,12 @@ type EngineBenchReport struct {
 	GoArch   string              `json:"goarch"`
 	Workload string              `json:"workload"`
 	Engines  []EngineBenchResult `json:"engines"`
+	// QueryBytes is the wire footprint of the fixture's seeded-match
+	// query (factored representation), and LegacyQueryBytes what the
+	// same query costs in the legacy expanded-token representation —
+	// the PR-over-PR trace of the communication-volume claim.
+	QueryBytes       int64 `json:"query_bytes,omitempty"`
+	LegacyQueryBytes int64 `json:"legacy_query_bytes,omitempty"`
 	// ColdLoads measures the durable segment store: per engine, the
 	// cold evicted-to-searchable load latency vs the warm search.
 	ColdLoads []ColdLoadResult `json:"cold_loads,omitempty"`
@@ -69,6 +80,18 @@ func NewEngineBenchFixture() (core.Config, *core.EncryptedDB, *core.Query, error
 	return cfg, db, q, nil
 }
 
+// NewEngineBenchLegacyQuery builds the standard fixture's query in the
+// legacy expanded-token representation (same client seed, same pattern),
+// for wire-size comparisons and legacy-path benchmarks.
+func NewEngineBenchLegacyQuery() (*core.Query, error) {
+	cfg := core.Config{Params: bfv.ParamsPaper(), AlignBits: 8, Mode: core.ModeSeededMatch}
+	client, err := core.NewClient(cfg, rng.NewSourceFromString("engine-bench"))
+	if err != nil {
+		return nil, err
+	}
+	return client.PrepareLegacyQuery([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 32, 4096*8)
+}
+
 // RunEngineBench measures SearchAndIndex throughput for every engine
 // spec on the standard workload, via testing.Benchmark, and returns one
 // result per spec.
@@ -78,10 +101,18 @@ func RunEngineBench(specs []string) (*EngineBenchReport, error) {
 		return nil, err
 	}
 	report := &EngineBenchReport{
-		GoOS:     runtime.GOOS,
-		GoArch:   runtime.GOARCH,
-		Workload: EngineBenchWorkload,
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		Workload:   EngineBenchWorkload,
+		QueryBytes: q.SizeBytes(cfg.Params),
 	}
+	lq, err := NewEngineBenchLegacyQuery()
+	if err != nil {
+		// The legacy size is part of the tracked trajectory; a silent 0
+		// would hide a broken fixture.
+		return nil, fmt.Errorf("harness: legacy fixture query: %w", err)
+	}
+	report.LegacyQueryBytes = lq.SizeBytes(cfg.Params)
 	for _, specStr := range specs {
 		spec, err := engine.Parse(specStr)
 		if err != nil {
@@ -108,11 +139,12 @@ func RunEngineBench(specs []string) (*EngineBenchReport, error) {
 		})
 		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
 		out := EngineBenchResult{
-			Engine:       specStr,
-			NsPerOp:      nsPerOp,
-			AllocsPerOp:  res.AllocsPerOp(),
-			BytesPerOp:   res.AllocedBytesPerOp(),
-			HomAddsPerOp: warm.Stats.HomAdds,
+			Engine:            specStr,
+			NsPerOp:           nsPerOp,
+			AllocsPerOp:       res.AllocsPerOp(),
+			BytesPerOp:        res.AllocedBytesPerOp(),
+			HomAddsPerOp:      warm.Stats.HomAdds,
+			ChunkStreamsPerOp: warm.Stats.ChunkStreams,
 		}
 		if nsPerOp > 0 {
 			out.HomAddsPerSec = float64(warm.Stats.HomAdds) / (nsPerOp / 1e9)
@@ -130,4 +162,57 @@ func (r *EngineBenchReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadEngineBenchReport loads a BENCH_results.json document (e.g. the
+// committed baseline of the previous PR).
+func ReadEngineBenchReport(path string) (*EngineBenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r EngineBenchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("harness: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteDelta prints a per-engine old-vs-new comparison table against a
+// baseline report, so PR-over-PR kernel regressions (and wins) are
+// visible in CI logs instead of buried in two JSON artifacts. Engines
+// present on only one side are listed without a delta.
+func (r *EngineBenchReport) WriteDelta(w io.Writer, old *EngineBenchReport) {
+	byEngine := make(map[string]EngineBenchResult, len(old.Engines))
+	for _, e := range old.Engines {
+		byEngine[e.Engine] = e
+	}
+	fmt.Fprintf(w, "engine-bench delta vs baseline (%s):\n", old.Workload)
+	fmt.Fprintf(w, "  %-16s %14s %14s %9s %10s %10s\n",
+		"engine", "old ns/op", "new ns/op", "Δ ns/op", "old allocs", "new allocs")
+	for _, e := range r.Engines {
+		o, ok := byEngine[e.Engine]
+		if !ok {
+			fmt.Fprintf(w, "  %-16s %14s %14.0f %9s %10s %10d  (new engine)\n",
+				e.Engine, "-", e.NsPerOp, "-", "-", e.AllocsPerOp)
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(e.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+		fmt.Fprintf(w, "  %-16s %14.0f %14.0f %9s %10d %10d\n",
+			e.Engine, o.NsPerOp, e.NsPerOp, delta, o.AllocsPerOp, e.AllocsPerOp)
+		delete(byEngine, e.Engine)
+	}
+	for name := range byEngine {
+		fmt.Fprintf(w, "  %-16s (engine dropped from benchmark set)\n", name)
+	}
+	if old.QueryBytes > 0 || r.QueryBytes > 0 {
+		fmt.Fprintf(w, "  query bytes: old %d, new %d", old.QueryBytes, r.QueryBytes)
+		if r.LegacyQueryBytes > 0 {
+			fmt.Fprintf(w, " (legacy representation: %d)", r.LegacyQueryBytes)
+		}
+		fmt.Fprintln(w)
+	}
 }

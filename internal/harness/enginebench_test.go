@@ -1,0 +1,31 @@
+package harness
+
+import "testing"
+
+// TestFactoredQueryShrinksStandardFixture pins the acceptance bar of
+// the factored-token representation on the standard engine-bench
+// fixture (4 KiB database, 32-bit query, align 8): the factored query
+// ships at least 2× fewer bytes than the legacy expanded-token
+// representation the previous PRs measured.
+func TestFactoredQueryShrinksStandardFixture(t *testing.T) {
+	cfg, _, q, err := NewEngineBenchFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Factored() {
+		t.Fatal("standard fixture query is not factored")
+	}
+	lq, err := NewEngineBenchLegacyQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, lb := q.SizeBytes(cfg.Params), lq.SizeBytes(cfg.Params)
+	if fb <= 0 || lb <= 0 {
+		t.Fatalf("degenerate sizes: factored %d, legacy %d", fb, lb)
+	}
+	if 2*fb > lb {
+		t.Fatalf("factored query = %d bytes, legacy = %d — want ≥2× reduction (got %.2fx)",
+			fb, lb, float64(lb)/float64(fb))
+	}
+	t.Logf("query bytes: factored %d, legacy %d (%.2fx smaller)", fb, lb, float64(lb)/float64(fb))
+}

@@ -16,7 +16,8 @@ import (
 // Seeds are valid encodings plus truncations and bit flips of them, so
 // the corpus starts at the interesting boundaries.
 
-// fuzzSeedQuery builds a representative query under the toy parameters.
+// fuzzSeedQuery builds a representative factored query under the toy
+// parameters.
 func fuzzSeedQuery(tb testing.TB, p bfv.Params) *core.Query {
 	tb.Helper()
 	client, err := core.NewClient(core.Config{Params: p, Mode: core.ModeSeededMatch}, rng.NewSourceFromString("fuzz-seed"))
@@ -24,6 +25,21 @@ func fuzzSeedQuery(tb testing.TB, p bfv.Params) *core.Query {
 		tb.Fatal(err)
 	}
 	q, err := client.PrepareQuery([]byte{0xAB, 0xCD, 0xEF}, 24, 1280)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return q
+}
+
+// fuzzSeedLegacyQuery builds the same query in the legacy expanded-token
+// representation, so the fuzzers cover both wire formats.
+func fuzzSeedLegacyQuery(tb testing.TB, p bfv.Params) *core.Query {
+	tb.Helper()
+	client, err := core.NewClient(core.Config{Params: p, Mode: core.ModeSeededMatch}, rng.NewSourceFromString("fuzz-seed"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	q, err := client.PrepareLegacyQuery([]byte{0xAB, 0xCD, 0xEF}, 24, 1280)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -68,6 +84,7 @@ func addWireSeeds(f *testing.F, enc []byte) {
 func FuzzDecodeQuery(f *testing.F) {
 	p := bfv.ParamsToy()
 	addWireSeeds(f, EncodeQuery(fuzzSeedQuery(f, p), p))
+	addWireSeeds(f, EncodeQuery(fuzzSeedLegacyQuery(f, p), p))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		q, err := DecodeQuery(data, p)
 		if err != nil {
@@ -139,8 +156,13 @@ func FuzzDecodeResult(f *testing.F) {
 func FuzzDecodeBatchQuery(f *testing.F) {
 	p := bfv.ParamsToy()
 	q := fuzzSeedQuery(f, p)
+	lq := fuzzSeedLegacyQuery(f, p)
 	bq := &core.BatchQuery{Queries: []*core.Query{q, q}}
 	addWireSeeds(f, EncodeNamedBatchQuery("corpus", bq, p))
+	// A mixed batch (factored + legacy member) and an all-legacy batch,
+	// so both layouts and the member token kinds are in the corpus.
+	addWireSeeds(f, EncodeNamedBatchQuery("corpus", &core.BatchQuery{Queries: []*core.Query{q, lq}}, p))
+	addWireSeeds(f, EncodeNamedBatchQuery("corpus", &core.BatchQuery{Queries: []*core.Query{lq, lq}}, p))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		name, got, err := DecodeNamedBatchQuery(data, p)
 		if err != nil {

@@ -279,7 +279,7 @@ func TestUploadEnvelopeRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if qname != "beta" || q.YBits != tn.q.YBits || len(q.Patterns) != len(tn.q.Patterns) {
+	if qname != "beta" || q.YBits != tn.q.YBits || len(q.DBTok) != len(tn.q.DBTok) || len(q.RHS) != len(tn.q.RHS) {
 		t.Fatal("query envelope lost data")
 	}
 	infos := []DBInfo{{Name: "a", Engine: "serial", Chunks: 3, BitLen: 3072, Searches: 7}}

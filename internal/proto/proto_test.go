@@ -74,6 +74,50 @@ func TestQueryRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !q.Factored() {
+		t.Fatal("PrepareQuery did not produce a factored query")
+	}
+	back, err := DecodeQuery(EncodeQuery(q, p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.YBits != q.YBits || back.AlignBits != q.AlignBits ||
+		back.DBBitLen != q.DBBitLen || back.NumChunks != q.NumChunks {
+		t.Fatal("query metadata lost")
+	}
+	if len(back.Residues) != len(q.Residues) || len(back.DBTok) != len(q.DBTok) ||
+		len(back.RHS) != len(q.RHS) {
+		t.Fatal("query structure lost")
+	}
+	if len(back.Patterns) != 0 {
+		t.Fatal("factored encoding shipped pattern ciphertexts")
+	}
+	r := p.Ring()
+	for j := range q.DBTok {
+		if !r.Equal(back.DBTok[j], q.DBTok[j]) {
+			t.Fatalf("DBTok %d corrupted", j)
+		}
+	}
+	for psi, rhs := range q.RHS {
+		if !r.Equal(back.RHS[psi], rhs) {
+			t.Fatalf("RHS %d corrupted", psi)
+		}
+	}
+}
+
+// TestLegacyQueryRoundtrip pins the pre-factoring encoding: legacy
+// expanded-token queries still encode and decode byte-for-byte as
+// before, so old clients keep working.
+func TestLegacyQueryRoundtrip(t *testing.T) {
+	p := bfv.ParamsToy()
+	client, err := core.NewClient(core.Config{Params: p, Mode: core.ModeSeededMatch}, rng.NewSourceFromString("proto-q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.PrepareLegacyQuery([]byte{0xAB, 0xCD, 0xEF}, 24, 1280)
+	if err != nil {
+		t.Fatal(err)
+	}
 	back, err := DecodeQuery(EncodeQuery(q, p), p)
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +127,7 @@ func TestQueryRoundtrip(t *testing.T) {
 		t.Fatal("query metadata lost")
 	}
 	if len(back.Residues) != len(q.Residues) || len(back.Patterns) != len(q.Patterns) ||
-		len(back.Tokens) != len(q.Tokens) {
+		len(back.Tokens) != len(q.Tokens) || back.Factored() {
 		t.Fatal("query structure lost")
 	}
 	r := p.Ring()
@@ -217,28 +261,33 @@ func TestBatchQueryRoundtrip(t *testing.T) {
 		if got.YBits != q.YBits || got.AlignBits != q.AlignBits || got.DBBitLen != q.DBBitLen || got.NumChunks != q.NumChunks {
 			t.Fatalf("member %d metadata lost", mi)
 		}
-		if len(got.Patterns) != len(q.Patterns) || len(got.Tokens) != len(q.Tokens) {
+		if len(got.DBTok) != len(q.DBTok) || len(got.RHS) != len(q.RHS) {
 			t.Fatalf("member %d structure lost", mi)
 		}
-		for psi, ct := range q.Patterns {
-			for c := range ct.C {
-				if !r.Equal(got.Patterns[psi].C[c], ct.C[c]) {
-					t.Fatalf("member %d pattern %d corrupted", mi, psi)
-				}
+		for j := range q.DBTok {
+			if !r.Equal(got.DBTok[j], q.DBTok[j]) {
+				t.Fatalf("member %d DBTok %d corrupted", mi, j)
 			}
 		}
-		for res, toks := range q.Tokens {
-			for j := range toks {
-				if !r.Equal(got.Tokens[res][j], toks[j]) {
-					t.Fatalf("member %d token %d/%d corrupted", mi, res, j)
-				}
+		for psi, rhs := range q.RHS {
+			if !r.Equal(got.RHS[psi], rhs) {
+				t.Fatalf("member %d RHS %d corrupted", mi, psi)
 			}
 		}
 	}
-	// Decoded members with identical pattern content share pool pointers.
-	for psi, ct := range back.Queries[0].Patterns {
-		if back.Queries[2].Patterns[psi] != ct {
-			t.Fatalf("pattern %d not pool-shared between duplicate members", psi)
+	// Every member comes from the same client against the same database,
+	// so the deduplicated wire encoding must hand all three the SAME
+	// DBTok plane object — one plane on the wire, one chunk stream in
+	// the batch kernel.
+	for mi := 1; mi < 3; mi++ {
+		if &back.Queries[mi].DBTok[0][0] != &back.Queries[0].DBTok[0][0] {
+			t.Fatalf("member %d DBTok plane not pool-shared", mi)
+		}
+	}
+	// Duplicate members additionally share their RHS comparands.
+	for psi, rhs := range back.Queries[0].RHS {
+		if &back.Queries[2].RHS[psi][0] != &rhs[0] {
+			t.Fatalf("RHS %d not pool-shared between duplicate members", psi)
 		}
 	}
 
@@ -254,6 +303,149 @@ func TestBatchQueryRoundtrip(t *testing.T) {
 	if len(res) != 3 || len(res[0]) != 2 || res[0][1] != 1024 || len(res[1]) != 0 || res[2][0] != 0 {
 		t.Fatalf("batch result round-trip lost data: %v", res)
 	}
+}
+
+// TestFactoredWireRejectsHostileInput covers the structural checks of
+// the versioned factored encodings: unknown versions, DBTok planes that
+// disagree with the header chunk count, out-of-range pool references
+// and unknown member token kinds must all fail loudly — the fused
+// kernels size loops and bitset writes from these fields.
+func TestFactoredWireRejectsHostileInput(t *testing.T) {
+	p := bfv.ParamsToy()
+	client, err := core.NewClient(core.Config{Params: p, Mode: core.ModeSeededMatch}, rng.NewSourceFromString("hostile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.PrepareQuery([]byte{0xAB, 0xCD}, 16, 1280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeQuery(q, p)
+
+	// Future version word (offset 4, right after the sentinel).
+	bad := bytes.Clone(enc)
+	bad[4] = 99
+	if _, err := DecodeQuery(bad, p); err == nil {
+		t.Fatal("unknown factored version accepted")
+	}
+
+	// DBTok plane shorter than the header's NumChunks: shrink the
+	// chunk count field instead of re-deriving offsets.
+	mismatched := q.DBTok
+	q.DBTok = q.DBTok[:1]
+	short := EncodeQuery(q, p)
+	q.DBTok = mismatched
+	if _, err := DecodeQuery(short, p); err == nil {
+		t.Fatal("DBTok plane / NumChunks mismatch accepted")
+	}
+
+	// Truncations anywhere in the factored encoding must error.
+	for _, cut := range []int{1, 4, 8, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeQuery(enc[:cut], p); err == nil {
+			t.Fatalf("factored truncation at %d accepted", cut)
+		}
+	}
+
+	// Batch: member referencing a DBTok plane / poly pool entry out of
+	// range must be rejected. Corrupt the plane-pool reference by
+	// encoding a batch and flipping the member's plane index (the last
+	// u32 sequence is small; easier to build hostile bytes directly).
+	bq := &core.BatchQuery{Queries: []*core.Query{q}}
+	benc := EncodeNamedBatchQuery("h", bq, p)
+	if _, _, err := DecodeNamedBatchQuery(benc, p); err != nil {
+		t.Fatalf("honest batch rejected: %v", err)
+	}
+	for _, cut := range []int{1, 6, 10, len(benc) / 2, len(benc) - 1} {
+		if _, _, err := DecodeNamedBatchQuery(benc[:cut], p); err == nil {
+			t.Fatalf("batch truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt every single byte position and require: decode either
+	// errors, or the re-encoded canonical form decodes again — no
+	// panics, no unchecked pool references, no version skew.
+	for i := 0; i < len(benc); i++ {
+		mut := bytes.Clone(benc)
+		mut[i] ^= 0xFF
+		name, got, err := DecodeNamedBatchQuery(mut, p)
+		if err != nil {
+			continue
+		}
+		if _, _, err := DecodeNamedBatchQuery(EncodeNamedBatchQuery(name, got, p), p); err != nil {
+			t.Fatalf("byte %d: mutated batch decoded but canonical re-encode failed: %v", i, err)
+		}
+	}
+}
+
+// TestLegacyWireSearchesIdentically is the old-client compatibility
+// proof at the wire level: a legacy-encoded query, decoded by the new
+// server, must search bit-identically to the factored query for the
+// same pattern.
+func TestLegacyWireSearchesIdentically(t *testing.T) {
+	p := bfv.ParamsToy()
+	cfg := core.Config{Params: p, AlignBits: 8, Mode: core.ModeSeededMatch}
+	client, err := core.NewClient(cfg, rng.NewSourceFromString("legacy-wire"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 192)
+	rng.NewSourceFromString("legacy-wire-data").Bytes(data)
+	pattern := []byte{0xFE, 0xED, 0xFA, 0xCE}
+	for j := 0; j < 32; j++ {
+		mathutil.SetBit(data, 200+j, mathutil.GetBit(pattern, j))
+	}
+	db, err := client.EncryptDatabase(data, 1536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq, err := client.PrepareQuery(pattern, 32, 1536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq, err := client.PrepareLegacyQuery(pattern, 32, 1536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The legacy wire bytes decode to a legacy (unfactored) query…
+	decoded, err := DecodeQuery(EncodeQuery(lq, p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Factored() {
+		t.Fatal("legacy encoding decoded as factored")
+	}
+	// …and the factored encoding is at least 2× smaller on the wire.
+	if lb, fb := len(EncodeQuery(lq, p)), len(EncodeQuery(fq, p)); fb*2 > lb {
+		t.Fatalf("factored encoding %d bytes, legacy %d — want ≥2× shrink", fb, lb)
+	}
+	srv := core.NewServer(p, db)
+	want, err := srv.SearchAndIndex(fq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.SearchAndIndex(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Candidates) == 0 || !intsEqualProto(got.Candidates, want.Candidates) {
+		t.Fatalf("legacy wire query candidates %v != factored %v", got.Candidates, want.Candidates)
+	}
+	for res, wbm := range want.Hits {
+		if gbm := got.Hits[res]; gbm == nil || !gbm.Equal(wbm) {
+			t.Fatalf("residue %d: legacy wire bitmap differs from factored", res)
+		}
+	}
+}
+
+func intsEqualProto(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestDecodeRejectsTruncation(t *testing.T) {
@@ -340,8 +532,9 @@ func TestEndToEndOverTCP(t *testing.T) {
 		t.Fatalf("planted occurrence at 200 missing from %v", got)
 	}
 
-	// Searching without tokens must be rejected client-side.
-	q.Tokens = nil
+	// Searching without tokens (either representation) must be rejected
+	// client-side.
+	q.Tokens, q.DBTok, q.RHS = nil, nil, nil
 	if _, err := conn.Search("corpus", q); err == nil {
 		t.Fatal("tokenless remote search accepted")
 	}
@@ -427,7 +620,7 @@ func TestBatchSearchOverTCP(t *testing.T) {
 	}
 
 	// A tokenless member must be rejected client-side.
-	queries[1].Tokens = nil
+	queries[1].Tokens, queries[1].DBTok, queries[1].RHS = nil, nil, nil
 	if _, err := conn.SearchBatch("corpus", queries); err == nil {
 		t.Fatal("tokenless batch member accepted")
 	}

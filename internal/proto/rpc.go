@@ -191,7 +191,7 @@ func (c *Conn) UploadDB(name string, spec core.EngineSpec, db *core.EncryptedDB)
 // (core.ModeSeededMatch): the server generates the index and only the
 // index travels back.
 func (c *Conn) Search(name string, q *core.Query) ([]int, error) {
-	if q.Tokens == nil {
+	if !q.HasTokens() {
 		return nil, fmt.Errorf("proto: remote search requires match tokens (core.ModeSeededMatch)")
 	}
 	reply, body, err := c.roundTrip(MsgQuery, EncodeNamedQuery(name, q, c.params))
@@ -218,7 +218,7 @@ func (c *Conn) Search(name string, q *core.Query) ([]int, error) {
 // (core.ModeSeededMatch).
 func (c *Conn) SearchBatch(name string, queries []*core.Query) ([][]int, error) {
 	for i, q := range queries {
-		if q.Tokens == nil {
+		if !q.HasTokens() {
 			return nil, fmt.Errorf("proto: batch member %d: remote search requires match tokens (core.ModeSeededMatch)", i)
 		}
 	}

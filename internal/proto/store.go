@@ -320,6 +320,9 @@ func (st *Store) ensureLoaded(d *hostedDB) error {
 	if err != nil {
 		return fmt.Errorf("proto: reloading %q: %w", d.name, err)
 	}
+	// The reload is always followed by a search streaming the arena:
+	// start faulting the mapping in while the engine is being built.
+	seg.AdviseWillNeed()
 	edb, err := seg.DB()
 	if err != nil {
 		_ = seg.Close()

@@ -289,12 +289,57 @@ func sortedKeys[V any](m map[int]V) []int {
 	return keys
 }
 
-// EncodeQuery serialises a query (patterns and, when present, match
-// tokens). Map-backed sections (patterns, tokens) are emitted in sorted
-// key order, so the same query always encodes to the same bytes — the
-// property batch-level deduplication and any caching keyed on encodings
-// rely on.
+// factoredSentinel marks the versioned factored encodings of MsgQuery
+// and MsgBatchQuery. It occupies the slot a legacy decoder reads as
+// YBits (query) or as the pattern-pool count (batch); both reject it —
+// YBits fails validation and the count check refuses ~2^32 — so a
+// pre-factoring server errors out cleanly instead of misparsing, while
+// legacy encodings (whose first word can never be the sentinel) still
+// decode everywhere.
+const factoredSentinel = ^uint32(0)
+
+// factoredWireVersion is the current version word of the factored
+// encodings; unknown versions are rejected, so the format can evolve.
+const factoredWireVersion = 1
+
+// EncodeQuery serialises a query. Map-backed sections are emitted in
+// sorted key order, so the same query always encodes to the same bytes
+// — the property batch-level deduplication and any caching keyed on
+// encodings rely on.
+//
+// Factored queries use the versioned factored encoding: metadata, the
+// DBTok plane and the per-phase RHS polynomials. Pattern ciphertexts
+// are NOT shipped — seeded-match index generation runs entirely on
+// DBTok/RHS — which is where the ≥2× query-size reduction over the
+// legacy expanded-token encoding comes from (legacy ships patterns plus
+// residues×chunks token polynomials; factored ships chunks+phases
+// polynomials total). Legacy queries keep the original encoding, byte
+// for byte.
 func EncodeQuery(q *core.Query, p bfv.Params) []byte {
+	qb := p.QBytes()
+	if q.Factored() {
+		var b buffer
+		b.putUint32(factoredSentinel)
+		b.putInt(factoredWireVersion)
+		b.putInt(q.YBits)
+		b.putInt(q.AlignBits)
+		b.putInt(q.DBBitLen)
+		b.putInt(q.NumChunks)
+		b.putInt(len(q.Residues))
+		for _, r := range q.Residues {
+			b.putInt(r)
+		}
+		b.putInt(len(q.DBTok))
+		for _, tok := range q.DBTok {
+			b.putPoly(tok, qb)
+		}
+		b.putInt(len(q.RHS))
+		for _, psi := range sortedKeys(q.RHS) {
+			b.putInt(psi)
+			b.putPoly(q.RHS[psi], qb)
+		}
+		return b.data
+	}
 	var b buffer
 	b.putInt(q.YBits)
 	b.putInt(q.AlignBits)
@@ -304,7 +349,6 @@ func EncodeQuery(q *core.Query, p bfv.Params) []byte {
 	for _, r := range q.Residues {
 		b.putInt(r)
 	}
-	qb := p.QBytes()
 	b.putInt(len(q.Patterns))
 	for _, psi := range sortedKeys(q.Patterns) {
 		b.putInt(psi)
@@ -322,32 +366,105 @@ func EncodeQuery(q *core.Query, p bfv.Params) []byte {
 	return b.data
 }
 
-// DecodeQuery is the inverse of EncodeQuery.
-func DecodeQuery(data []byte, p bfv.Params) (*core.Query, error) {
-	b := buffer{data: data}
-	q := &core.Query{Patterns: map[int]*bfv.Ciphertext{}}
+// decodeQueryHeader reads the metadata fields (after YBits) shared by
+// every query encoding — single and batch-member, legacy and factored.
+func decodeQueryHeader(b *buffer, q *core.Query) error {
 	var err error
-	if q.YBits, err = b.int(); err != nil {
-		return nil, err
-	}
 	if q.AlignBits, err = b.int(); err != nil {
-		return nil, err
+		return err
 	}
 	if q.DBBitLen, err = b.int(); err != nil {
-		return nil, err
+		return err
 	}
 	if q.NumChunks, err = b.int(); err != nil {
-		return nil, err
+		return err
 	}
 	nres, err := b.count(4)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	q.Residues = make([]int, nres)
 	for i := range q.Residues {
 		if q.Residues[i], err = b.int(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeInlineTokens reads a legacy expanded-token section (residue,
+// poly-count, polynomials), shared by the single-query decoder and both
+// batch layouts. Returns nil when the section is empty.
+func decodeInlineTokens(b *buffer, qb, degree int) (map[int][]ring.Poly, error) {
+	ntok, err := b.count(8) // residue word + token-count word
+	if err != nil {
+		return nil, err
+	}
+	if ntok == 0 {
+		return nil, nil
+	}
+	tokens := make(map[int][]ring.Poly, ntok)
+	for i := 0; i < ntok; i++ {
+		res, err := b.int()
+		if err != nil {
 			return nil, err
 		}
+		cnt, err := b.count(4)
+		if err != nil {
+			return nil, err
+		}
+		toks := make([]ring.Poly, cnt)
+		for j := range toks {
+			if toks[j], err = b.poly(qb, degree); err != nil {
+				return nil, err
+			}
+		}
+		tokens[res] = toks
+	}
+	return tokens, nil
+}
+
+// decodePatternRefs reads a (psi, pool-index) pattern reference section
+// against a decoded ciphertext pool — the batch layouts' shared member
+// pattern decode, with the pool bound enforced.
+func decodePatternRefs(b *buffer, pool []*bfv.Ciphertext, member int) (map[int]*bfv.Ciphertext, error) {
+	npat, err := b.count(8) // psi word + pool-index word
+	if err != nil {
+		return nil, err
+	}
+	patterns := make(map[int]*bfv.Ciphertext, npat)
+	for i := 0; i < npat; i++ {
+		psi, err := b.int()
+		if err != nil {
+			return nil, err
+		}
+		idx, err := b.int()
+		if err != nil {
+			return nil, err
+		}
+		if idx < 0 || idx >= len(pool) {
+			return nil, fmt.Errorf("proto: batch member %d references pattern pool entry %d of %d", member, idx, len(pool))
+		}
+		patterns[psi] = pool[idx]
+	}
+	return patterns, nil
+}
+
+// DecodeQuery is the inverse of EncodeQuery: it accepts both the legacy
+// expanded-token encoding (old clients keep working unchanged) and the
+// versioned factored encoding.
+func DecodeQuery(data []byte, p bfv.Params) (*core.Query, error) {
+	b := buffer{data: data}
+	first, err := b.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if first == factoredSentinel {
+		return decodeFactoredQuery(&b, p)
+	}
+	q := &core.Query{Patterns: map[int]*bfv.Ciphertext{}, YBits: int(first)}
+	if err := decodeQueryHeader(&b, q); err != nil {
+		return nil, err
 	}
 	qb := p.QBytes()
 	npat, err := b.count(8) // psi word + ciphertext header
@@ -363,29 +480,59 @@ func DecodeQuery(data []byte, p bfv.Params) (*core.Query, error) {
 			return nil, err
 		}
 	}
-	ntok, err := b.count(8) // residue word + token-count word
+	if q.Tokens, err = decodeInlineTokens(&b, qb, p.N); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// decodeFactoredQuery parses the versioned factored encoding after the
+// sentinel word. The DBTok plane must cover exactly NumChunks chunks —
+// the kernels index it per chunk — and every polynomial is held to the
+// ring degree, so a hostile peer cannot smuggle mis-shaped comparands
+// into the fused kernel.
+func decodeFactoredQuery(b *buffer, p bfv.Params) (*core.Query, error) {
+	version, err := b.int()
 	if err != nil {
 		return nil, err
 	}
-	if ntok > 0 {
-		q.Tokens = make(map[int][]ring.Poly, ntok)
+	if version != factoredWireVersion {
+		return nil, fmt.Errorf("proto: unsupported factored query version %d", version)
 	}
-	for i := 0; i < ntok; i++ {
-		res, err := b.int()
+	q := &core.Query{}
+	if q.YBits, err = b.int(); err != nil {
+		return nil, err
+	}
+	if err := decodeQueryHeader(b, q); err != nil {
+		return nil, err
+	}
+	qb := p.QBytes()
+	ntok, err := b.count(8) // poly length word + at least one coefficient
+	if err != nil {
+		return nil, err
+	}
+	if ntok != q.NumChunks {
+		return nil, fmt.Errorf("proto: factored query DBTok plane has %d chunks, header says %d", ntok, q.NumChunks)
+	}
+	q.DBTok = make([]ring.Poly, ntok)
+	for j := range q.DBTok {
+		if q.DBTok[j], err = b.poly(qb, p.N); err != nil {
+			return nil, err
+		}
+	}
+	nrhs, err := b.count(8) // psi word + poly length word
+	if err != nil {
+		return nil, err
+	}
+	q.RHS = make(map[int]ring.Poly, nrhs)
+	for i := 0; i < nrhs; i++ {
+		psi, err := b.int()
 		if err != nil {
 			return nil, err
 		}
-		cnt, err := b.count(4)
-		if err != nil {
+		if q.RHS[psi], err = b.poly(qb, p.N); err != nil {
 			return nil, err
 		}
-		toks := make([]ring.Poly, cnt)
-		for j := range toks {
-			if toks[j], err = b.poly(qb, p.N); err != nil {
-				return nil, err
-			}
-		}
-		q.Tokens[res] = toks
 	}
 	return q, nil
 }

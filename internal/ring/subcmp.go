@@ -1,0 +1,83 @@
+package ring
+
+// This file implements the residue-fused compare kernel of the factored
+// match-token representation. With tokens factored as
+// Tokens[s][j] = DBTok[j] + RHS[psi(j,s)] the per-(chunk, residue) hit
+// condition (a + b) mod q == tok rewrites as
+//
+//	(a[i] - DBTok[j][i]) mod q == RHS[psi][i]
+//
+// whose left side is residue-independent: one streaming pass over the
+// chunk's first component and its DBTok poly serves every shift variant
+// at once, with the R per-phase RHS polys staying cache-resident. The
+// legacy pipeline re-read the ciphertext arena once per residue; this
+// kernel is why a search now reads it once (see core's engine kernels).
+
+// SubCmpMultiBits sets bit base+i of bits[v] for every comparand v and
+// coefficient i with (a[i] - d[i]) mod q == rhs[v][i]. Bits are only
+// ever set, never cleared, so repeated calls over disjoint base ranges
+// accumulate into packed bitsets (one per comparand). a and d are each
+// read exactly once regardless of len(rhs); no difference polynomial is
+// stored. Words with no hits are never written, so a miss-dominated
+// search stays a pure read stream.
+//
+// rhs and bits must have equal length; every rhs[v] must have len(a)
+// coefficients and every bits[v] must cover bits [base, base+len(a)).
+func (r *Ring) SubCmpMultiBits(a, d Poly, rhs []Poly, bits [][]uint64, base int) {
+	n := len(a)
+	var diff [64]uint64
+	i := 0
+	if base&63 == 0 {
+		// Word-at-a-time: 64 differences land in a stack buffer, then
+		// each comparand folds its 64 compares into one register,
+		// stored only when at least one window hit.
+		for ; i+64 <= n; i += 64 {
+			aa, dd := a[i:i+64], d[i:i+64]
+			if r.qIsPow2 {
+				mask := r.mask
+				for k := range aa {
+					diff[k] = (aa[k] - dd[k]) & mask
+				}
+			} else {
+				q := r.q
+				for k := range aa {
+					t := aa[k] + q - dd[k] // d < q, no underflow
+					if t >= q {
+						t -= q
+					}
+					diff[k] = t
+				}
+			}
+			wi := (base + i) >> 6
+			for v, rp := range rhs {
+				tt := rp[i : i+64]
+				var w uint64
+				for k := range tt {
+					if diff[k] == tt[k] {
+						w |= 1 << uint(k)
+					}
+				}
+				if w != 0 {
+					bits[v][wi] |= w
+				}
+			}
+		}
+	}
+	for ; i < n; i++ {
+		var t uint64
+		if r.qIsPow2 {
+			t = (a[i] - d[i]) & r.mask
+		} else {
+			t = a[i] + r.q - d[i]
+			if t >= r.q {
+				t -= r.q
+			}
+		}
+		for v, rp := range rhs {
+			if t == rp[i] {
+				wi, m := bitsetWord(base + i)
+				bits[v][wi] |= m
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package ring
+
+import (
+	"testing"
+
+	"ciphermatch/internal/rng"
+)
+
+// TestSubCmpMultiBitsMatchesSubCompare is the property test of the
+// residue-fused kernel: for every comparand, SubCmpMultiBits must agree
+// bit for bit with the unfused subtract-then-compare pipeline on random
+// polynomials, at aligned and unaligned base offsets, for both modulus
+// families, with 1..5 comparands per call.
+func TestSubCmpMultiBitsMatchesSubCompare(t *testing.T) {
+	for _, fam := range addCmpFamilies {
+		t.Run(fam.name, func(t *testing.T) {
+			r := MustNew(fam.n, fam.q)
+			src := rng.NewSourceFromString("subcmp-" + fam.name)
+			for trial := 0; trial < 24; trial++ {
+				a, d := r.NewPoly(), r.NewPoly()
+				r.UniformPoly(src, a)
+				r.UniformPoly(src, d)
+				diff := r.NewPoly()
+				r.Sub(a, d, diff)
+				numRHS := 1 + int(src.Uniform(5))
+				rhs := make([]Poly, numRHS)
+				for v := range rhs {
+					rhs[v] = r.NewPoly()
+					r.UniformPoly(src, rhs[v])
+					// Force hits at random positions: a random comparand
+					// rarely equals the difference, so plant exact matches.
+					for i := range rhs[v] {
+						if src.Uniform(4) == 0 {
+							rhs[v][i] = diff[i]
+						}
+					}
+				}
+				for _, base := range []int{0, 64, fam.n, 37} {
+					bits := make([][]uint64, numRHS)
+					for v := range bits {
+						bits[v] = make([]uint64, (base+fam.n+63)/64)
+					}
+					r.SubCmpMultiBits(a, d, rhs, bits, base)
+					for v := 0; v < numRHS; v++ {
+						for i := 0; i < fam.n; i++ {
+							want := diff[i] == rhs[v][i]
+							got := bits[v][(base+i)>>6]&(1<<(uint(base+i)&63)) != 0
+							if got != want {
+								t.Fatalf("trial %d rhs %d base %d coeff %d: fused=%v, sub+compare=%v",
+									trial, v, base, i, got, want)
+							}
+						}
+						// No bit outside [base, base+n) may be touched.
+						for w := range bits[v] {
+							for bit := 0; bit < 64; bit++ {
+								idx := w*64 + bit
+								if idx >= base && idx < base+fam.n {
+									continue
+								}
+								if bits[v][w]&(1<<uint(bit)) != 0 {
+									t.Fatalf("trial %d rhs %d base %d: stray bit %d set", trial, v, base, idx)
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSubCmpMultiBitsAccumulates: bits already set must survive calls
+// over other base ranges (the kernels accumulate chunk by chunk), and
+// calls with zero comparands must be no-ops.
+func TestSubCmpMultiBitsAccumulates(t *testing.T) {
+	r := MustNew(64, 1<<32)
+	src := rng.NewSourceFromString("subcmp-acc")
+	a, d := r.NewPoly(), r.NewPoly()
+	r.UniformPoly(src, a)
+	r.UniformPoly(src, d)
+	rhs := r.NewPoly()
+	r.Sub(a, d, rhs) // every coefficient hits
+	bits := [][]uint64{make([]uint64, 2)}
+	r.SubCmpMultiBits(a, d, []Poly{rhs}, bits, 0)
+	r.SubCmpMultiBits(a, d, []Poly{rhs}, bits, 64)
+	for w := 0; w < 2; w++ {
+		if bits[0][w] != ^uint64(0) {
+			t.Fatalf("word %d = %#x after accumulating two full-hit ranges", w, bits[0][w])
+		}
+	}
+	r.SubCmpMultiBits(a, d, nil, nil, 0) // zero comparands: must not panic
+}

@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package segment
+
+// adviseSupported reports whether madvise hints reach the kernel; on
+// platforms without a usable Madvise in syscall the hints are no-ops.
+const adviseSupported = false
+
+func adviseSequential(b []byte) {}
+
+func adviseWillNeed(b []byte) {}

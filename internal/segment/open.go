@@ -34,6 +34,21 @@ func (s *Segment) Arena() []uint64 { return s.arena }
 // Mapped reports whether the arena is a zero-copy file mapping.
 func (s *Segment) Mapped() bool { return s.mapping != nil }
 
+// Advised reports whether madvise hints reach the kernel for this
+// segment (a mapped arena on a platform with madvise).
+func (s *Segment) Advised() bool { return s.mapping != nil && adviseSupported }
+
+// AdviseWillNeed hints the kernel to fault the mapping in ahead of
+// imminent sequential reads. The durable store calls it when a cold
+// segment is loaded for a search, so flash reads overlap engine
+// construction instead of serialising behind the kernel's page faults.
+// No-op for copied (non-mapped) arenas.
+func (s *Segment) AdviseWillNeed() {
+	if s.mapping != nil {
+		adviseWillNeed(s.mapping)
+	}
+}
+
 // DB adopts the arena into an EncryptedDB: chunk views over the mapped
 // (or copied) planes, ready for any engine. The database is read-only
 // and dies with the segment's Close.
@@ -77,6 +92,10 @@ func Open(path string, ringDegree int, modulus uint64) (*Segment, error) {
 
 	if mmapSupported && nativeLittleEndian {
 		if m, err := mmapFile(f, size); err == nil {
+			// The CRC pass below and the search kernels both stream the
+			// planes front-to-back: tell the kernel so readahead runs
+			// at full depth from the first fault.
+			adviseSequential(m)
 			if err := verifyMapped(m, planeOff, meta); err != nil {
 				munmapFile(m) //nolint:errcheck // reporting the verify failure
 				return nil, err

@@ -62,6 +62,7 @@ func (e *Engine) SearchAndIndex(q *core.Query) (*core.IndexResult, error) {
 	e.cum.HomAdds += ir.Stats.HomAdds
 	e.cum.CoeffCompares += ir.Stats.CoeffCompares
 	e.cum.ResultBytes += ir.Stats.ResultBytes
+	e.cum.ChunkStreams += ir.Stats.ChunkStreams
 	return ir, nil
 }
 

@@ -167,6 +167,30 @@ func TestCMSearchRequiresTokens(t *testing.T) {
 	}
 }
 
+// TestCMSearchEmptyResidues: a token-bearing query with no shift
+// variants (a hostile wire peer can send one) must return an empty
+// result, not panic — FactorQuery returns an empty form for it and the
+// controller must not touch the absent DBTok plane.
+func TestCMSearchEmptyResidues(t *testing.T) {
+	cfg := core.Config{Params: bfv.ParamsToy(), Mode: core.ModeSeededMatch}
+	client, _ := core.NewClient(cfg, rng.NewSourceFromString("empty-res"))
+	data := make([]byte, 128)
+	edb, _ := client.EncryptDatabase(data, 1024)
+	s := newTestSSD(t)
+	if err := s.CMWriteDatabase(edb); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := client.PrepareQuery([]byte{0xAB, 0xCD}, 16, 1024)
+	q.Residues = nil
+	ir, err := s.CMSearch(q)
+	if err != nil {
+		t.Fatalf("empty-residue search errored: %v", err)
+	}
+	if len(ir.Hits) != 0 || len(ir.Candidates) != 0 {
+		t.Fatalf("empty-residue search returned non-empty result: %+v", ir)
+	}
+}
+
 func TestCMSearchValidatesDBShape(t *testing.T) {
 	cfg := core.Config{Params: bfv.ParamsToy(), Mode: core.ModeSeededMatch}
 	client, _ := core.NewClient(cfg, rng.NewSourceFromString("shape"))
