@@ -9,9 +9,10 @@
 //	cmbench -exp none       # run no experiments (with -json: bench only)
 //	cmbench -list           # list experiment IDs
 //	cmbench -csv results/   # also write one CSV per experiment
-//	cmbench -json out.json  # also run the per-engine search benchmark
-//	                        # and write machine-readable results
-//	                        # (ns/op, HomAdds/s, allocs/op per engine)
+//	cmbench -json out.json  # also run the per-engine search benchmark,
+//	                        # the cold-load benchmark and the serving
+//	                        # storm (coalescing off vs on), and write
+//	                        # machine-readable results
 package main
 
 import (
@@ -98,6 +99,9 @@ func writeEngineBench(path, baseline string) error {
 	if report.ColdLoads, err = harness.RunColdLoadBench(harness.DefaultEngineBenchSpecs()); err != nil {
 		return err
 	}
+	if report.Storm, err = harness.RunStormBench(0, 0); err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -118,6 +122,11 @@ func writeEngineBench(path, baseline string) error {
 			c.Engine, c.ColdLoadNsPerOp, c.WarmSearchNsPerOp, c.Mapped, c.Advised, c.SegmentBytes)
 	}
 	fmt.Printf("query-bytes  factored %d legacy %d\n", report.QueryBytes, report.LegacyQueryBytes)
+	if s := report.Storm; s != nil {
+		fmt.Printf("storm        %d conns %10.0f qps unbatched %10.0f qps coalesced (%+.1f%%) occupancy %.2f  %.1f streams/query (solo %d)\n",
+			s.Conns, s.BaselineQPS, s.QPS, s.SpeedupPct, s.BatchOccupancyMean,
+			s.ChunkStreamsPerQuery, s.UnbatchedChunkStreamsPerQuery)
+	}
 	if baseline != "" {
 		old, err := harness.ReadEngineBenchReport(baseline)
 		if err != nil {

@@ -12,17 +12,28 @@
 // -membudget, cold tenants are evicted down to the budget and reload
 // transparently on their next search.
 //
+// With -batchwindow, concurrently arriving single queries against the
+// same database are coalesced server-side into one batched arena pass
+// (fires at -maxbatch queries or after an adaptive window capped at
+// -batchwindow, whichever first); -maxqueue bounds per-database pending
+// depth, rejecting excess load with a typed overload error. Serving
+// metrics — QPS, batch occupancy, queue latency, coalesce rate, arena
+// passes saved — are always available over the wire (cmclient stats)
+// and, with -metrics-addr, over HTTP in Prometheus text format.
+//
 // Usage:
 //
 //	cmserver -addr :7448 -engine pool -workers 8
 //	cmserver -engine ssd/shards=4
 //	cmserver -datadir /var/lib/ciphermatch -membudget 4GiB
+//	cmserver -batchwindow 200us -maxbatch 16 -maxqueue 256 -metrics-addr :9448
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -43,6 +54,10 @@ func main() {
 	shards := flag.Int("shards", 0, "default chunk-range shard count (0/1 = unsharded)")
 	datadir := flag.String("datadir", "", "segment data directory; empty = memory-only (nothing survives restart)")
 	membudget := flag.String("membudget", "", "resident ciphertext-arena budget, e.g. 512MiB or 4GiB (requires -datadir; empty = unlimited)")
+	batchwindow := flag.Duration("batchwindow", 0, "max server-side coalescing delay, e.g. 200us (0 = coalescing off)")
+	maxbatch := flag.Int("maxbatch", 0, "coalesced batch fires at this many pending queries (0 = default 16)")
+	maxqueue := flag.Int("maxqueue", 0, "per-database pending-query cap before overload rejection (0 = 16x maxbatch)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-format metrics over HTTP at this address (empty = off)")
 	flag.Parse()
 
 	spec, err := engine.Parse(*engineSpec)
@@ -62,11 +77,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := proto.NewServerWithOptions(bfv.ParamsPaper(), spec,
-		proto.StoreOptions{DataDir: *datadir, MemBudget: budget})
+	srv, err := proto.NewServerWithServing(bfv.ParamsPaper(), spec,
+		proto.StoreOptions{DataDir: *datadir, MemBudget: budget},
+		proto.CoalesceConfig{Window: *batchwindow, MaxBatch: *maxbatch, MaxQueue: *maxqueue})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cmserver:", err)
 		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmserver: -metrics-addr:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.Metrics().Handler())
+		go http.Serve(ml, mux) //nolint:errcheck // best-effort sidecar
+		fmt.Printf("cmserver: metrics on http://%s/metrics\n", ml.Addr())
 	}
 	if dir := srv.Store().Dir(); dir != nil {
 		n := len(srv.Store().List())
@@ -98,10 +125,14 @@ func main() {
 		l.Close()
 	}()
 
-	fmt.Printf("cmserver: listening on %s (BFV n=%d, log2 q=32, log2 t=16, default engine %s)\n",
-		l.Addr(), bfv.ParamsPaper().N, spec)
+	coalesceNote := "off"
+	if *batchwindow > 0 {
+		coalesceNote = fmt.Sprintf("window<=%s", *batchwindow)
+	}
+	fmt.Printf("cmserver: listening on %s (BFV n=%d, log2 q=32, log2 t=16, default engine %s, coalescing %s)\n",
+		l.Addr(), bfv.ParamsPaper().N, spec, coalesceNote)
 	serveErr := srv.Serve(l)
-	if err := srv.Store().Close(); err != nil {
+	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "cmserver: closing store:", err)
 		os.Exit(1)
 	}

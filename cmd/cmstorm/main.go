@@ -1,0 +1,132 @@
+// Command cmstorm is a closed-loop load generator for cmserver: it
+// uploads one encrypted database per tenant, hammers them from -conns
+// concurrent connections for -duration (optionally throttled to -qps
+// per connection), checks every reply against locally computed ground
+// truth, and reports latency percentiles plus the server's own serving
+// metrics delta — coalesce rate, mean batch occupancy, arena passes
+// saved. It is the serving-perf scenario behind the repo's benchmark
+// numbers and the CI load-smoke job.
+//
+// Every query is prepared with the tenant's keys and verified bit-for-
+// bit, so a nonzero wrong_results means the server dropped or crossed
+// results under load — the failure coalescing bugs would produce.
+//
+// Usage:
+//
+//	cmstorm -addr localhost:7448 -conns 16 -duration 5s
+//	cmstorm -addr localhost:7448 -tenants 4 -qps 200 -json -
+//	cmstorm -addr localhost:7448 -require-coalesce   # CI: exit 1 unless coalescing engaged cleanly
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/harness"
+	"ciphermatch/internal/proto"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7448", "cmserver address")
+	conns := flag.Int("conns", 8, "concurrent closed-loop client connections")
+	qps := flag.Float64("qps", 0, "per-connection query rate (0 = unthrottled closed loop)")
+	duration := flag.Duration("duration", 5*time.Second, "storm duration")
+	tenants := flag.Int("tenants", 1, "databases to upload and spread connections across")
+	dbBytes := flag.Int("db-bytes", 4096, "plaintext bytes per tenant database")
+	seed := flag.String("seed", "cmstorm", "deterministic fixture seed")
+	jsonOut := flag.String("json", "", "write the machine-readable report to this file ('-' = stdout)")
+	requireCoalesce := flag.Bool("require-coalesce", false,
+		"exit nonzero unless the run coalesced (coalesce rate > 0) with zero errors and zero wrong results")
+	flag.Parse()
+	if *tenants < 1 || *conns < 1 {
+		fmt.Fprintln(os.Stderr, "cmstorm: -tenants and -conns must be >= 1")
+		os.Exit(2)
+	}
+
+	p := bfv.ParamsPaper()
+	var targets []harness.StormTarget
+	for i := 0; i < *tenants; i++ {
+		name := fmt.Sprintf("storm-%s-%d", *seed, i)
+		db, tgt, err := harness.NewStormTenant(p, name, *seed, *dbBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmstorm: building tenant:", err)
+			os.Exit(1)
+		}
+		conn, err := proto.Dial(*addr, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmstorm: dial:", err)
+			os.Exit(1)
+		}
+		if err := conn.UploadDB(name, core.EngineSpec{}, db); err != nil {
+			conn.Close()
+			fmt.Fprintln(os.Stderr, "cmstorm: upload:", err)
+			os.Exit(1)
+		}
+		conn.Close()
+		targets = append(targets, *tgt)
+		fmt.Fprintf(os.Stderr, "cmstorm: uploaded %s (%d bytes, %d queries)\n", name, *dbBytes, len(tgt.Queries))
+	}
+
+	rep, err := harness.RunStorm(harness.StormConfig{
+		Addr:       *addr,
+		Params:     p,
+		Targets:    targets,
+		Conns:      *conns,
+		PerConnQPS: *qps,
+		Duration:   *duration,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmstorm:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("cmstorm: %d conns x %.1fs against %d tenant(s): %d queries, %.0f qps\n",
+		rep.Conns, rep.DurationSec, len(targets), rep.Queries, rep.QPS)
+	fmt.Printf("  latency ms: mean %.2f p50 %.2f p95 %.2f p99 %.2f max %.2f\n",
+		rep.LatMeanMs, rep.LatP50Ms, rep.LatP95Ms, rep.LatP99Ms, rep.LatMaxMs)
+	fmt.Printf("  errors %d, rejected %d, wrong results %d\n", rep.Errors, rep.Rejected, rep.WrongResults)
+	fmt.Printf("  server: %d queries in %d batches, coalesce rate %.2f, occupancy %.2f\n",
+		rep.ServerQueries, rep.Batches, rep.CoalesceRate, rep.BatchOccupancyMean)
+	fmt.Printf("  arena: %.1f chunk streams/query vs %d unbatched, %d streams saved\n",
+		rep.ChunkStreamsPerQuery, rep.UnbatchedChunkStreamsPerQuery, rep.ChunkStreamsSaved)
+
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cmstorm:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "cmstorm:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *requireCoalesce {
+		switch {
+		case rep.Errors > 0 || rep.WrongResults > 0:
+			fmt.Fprintf(os.Stderr, "cmstorm: FAIL: %d errors, %d wrong results\n", rep.Errors, rep.WrongResults)
+			os.Exit(1)
+		case rep.CoalesceRate <= 0 || rep.BatchOccupancyMean <= 1:
+			fmt.Fprintf(os.Stderr, "cmstorm: FAIL: coalescing did not engage (rate %.2f, occupancy %.2f)\n",
+				rep.CoalesceRate, rep.BatchOccupancyMean)
+			os.Exit(1)
+		case rep.Queries == 0:
+			fmt.Fprintln(os.Stderr, "cmstorm: FAIL: no queries completed")
+			os.Exit(1)
+		}
+		fmt.Println("cmstorm: PASS: coalescing engaged, zero dropped results")
+	}
+}

@@ -6,7 +6,7 @@
 // and the Boolean baseline).
 //
 // The default parameter set is the paper's: n = 1024, log2 q = 32,
-// log2 t = 16. Note (§8 of DESIGN.md) that this is the paper's
+// log2 t = 16. Note (§9 of DESIGN.md) that this is the paper's
 // performance-evaluation configuration; by the homomorphic encryption
 // security standard, n = 1024 at 128-bit classical security supports
 // roughly 27-bit q, so production deployments should use ParamsN2048.

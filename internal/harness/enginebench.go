@@ -47,6 +47,9 @@ type EngineBenchReport struct {
 	// ColdLoads measures the durable segment store: per engine, the
 	// cold evicted-to-searchable load latency vs the warm search.
 	ColdLoads []ColdLoadResult `json:"cold_loads,omitempty"`
+	// Storm is the serving-path scenario: the fixture under concurrent
+	// same-database clients, coalescing off vs on (see RunStormBench).
+	Storm *StormBenchResult `json:"storm,omitempty"`
 }
 
 // DefaultEngineBenchSpecs mirrors the BenchmarkEngine sub-benchmarks.
@@ -212,6 +215,16 @@ func (r *EngineBenchReport) WriteDelta(w io.Writer, old *EngineBenchReport) {
 		fmt.Fprintf(w, "  query bytes: old %d, new %d", old.QueryBytes, r.QueryBytes)
 		if r.LegacyQueryBytes > 0 {
 			fmt.Fprintf(w, " (legacy representation: %d)", r.LegacyQueryBytes)
+		}
+		fmt.Fprintln(w)
+	}
+	if s := r.Storm; s != nil {
+		fmt.Fprintf(w, "  storm (%d conns): %.0f qps unbatched -> %.0f qps coalesced (%+.1f%%), occupancy %.2f, %.1f streams/query (solo %d)",
+			s.Conns, s.BaselineQPS, s.QPS, s.SpeedupPct, s.BatchOccupancyMean,
+			s.ChunkStreamsPerQuery, s.UnbatchedChunkStreamsPerQuery)
+		if old.Storm != nil {
+			fmt.Fprintf(w, "; baseline run: %.0f qps coalesced, occupancy %.2f",
+				old.Storm.QPS, old.Storm.BatchOccupancyMean)
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/proto"
+)
+
+// TestRunStormSmoke drives the shared storm driver against an
+// in-process coalescing server on toy parameters: every reply must
+// verify against ground truth, the server-side delta must account for
+// every client query, and the closed loop must actually coalesce.
+func TestRunStormSmoke(t *testing.T) {
+	p := bfv.ParamsToy()
+	db, tgt, err := NewStormTenant(p, "smoke", "storm-test", 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop, err := stormServer(p, db, tgt.DB, proto.CoalesceConfig{
+		Window:   5 * time.Millisecond,
+		MaxBatch: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	rep, err := RunStorm(StormConfig{
+		Addr:     addr,
+		Params:   p,
+		Targets:  []StormTarget{*tgt},
+		Conns:    4,
+		Duration: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("storm completed no queries")
+	}
+	if rep.Errors != 0 || rep.WrongResults != 0 || rep.Rejected != 0 {
+		t.Fatalf("storm not clean: errors=%d wrong=%d rejected=%d", rep.Errors, rep.WrongResults, rep.Rejected)
+	}
+	if rep.ServerQueries != rep.Queries {
+		t.Fatalf("server counted %d queries, clients sent %d", rep.ServerQueries, rep.Queries)
+	}
+	if rep.CoalescedQueries == 0 || rep.BatchOccupancyMean <= 1 {
+		t.Fatalf("closed loop did not coalesce: coalesced=%d occupancy=%.2f",
+			rep.CoalescedQueries, rep.BatchOccupancyMean)
+	}
+	if rep.ChunkStreamsPerQuery >= float64(rep.UnbatchedChunkStreamsPerQuery) {
+		t.Fatalf("chunk streams/query %.2f not below unbatched %d",
+			rep.ChunkStreamsPerQuery, rep.UnbatchedChunkStreamsPerQuery)
+	}
+	if rep.LatMaxMs <= 0 || rep.QPS <= 0 {
+		t.Fatalf("degenerate latency/throughput: max=%.3fms qps=%.1f", rep.LatMaxMs, rep.QPS)
+	}
+}

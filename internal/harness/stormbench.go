@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/proto"
+)
+
+// StormBenchResult is the serving-performance scenario persisted in
+// BENCH_results.json: the standard fixture served to Conns concurrent
+// same-database closed-loop clients, once with coalescing off (the
+// per-query-arena-pass baseline) and once with the adaptive window on.
+// The acceptance pair is BatchOccupancyMean > 1 and ChunkStreamsPerQuery
+// strictly below UnbatchedChunkStreamsPerQuery; SpeedupPct records the
+// throughput gain.
+type StormBenchResult struct {
+	Conns       int     `json:"conns"`
+	DurationSec float64 `json:"duration_sec"`
+	WindowUs    int64   `json:"window_us"`
+
+	BaselineQPS      float64 `json:"baseline_qps"`
+	QPS              float64 `json:"qps"`
+	SpeedupPct       float64 `json:"speedup_pct"`
+	BaselineLatP50Ms float64 `json:"baseline_lat_p50_ms"`
+	LatP50Ms         float64 `json:"lat_p50_ms"`
+	LatP95Ms         float64 `json:"lat_p95_ms"`
+
+	CoalesceRate                  float64 `json:"coalesce_rate"`
+	BatchOccupancyMean            float64 `json:"batch_occupancy_mean"`
+	ChunkStreamsPerQuery          float64 `json:"chunk_streams_per_query"`
+	UnbatchedChunkStreamsPerQuery int64   `json:"unbatched_chunk_streams_per_query"`
+	ChunkStreamsSaved             int64   `json:"chunk_streams_saved"`
+	Errors                        int64   `json:"errors"`
+	WrongResults                  int64   `json:"wrong_results"`
+}
+
+// StormBenchWindow is the coalescing window the serving bench runs
+// with: generous enough that an 8-client closed loop over millisecond
+// searches always finds batch partners, small enough to stay invisible
+// next to one arena pass.
+const StormBenchWindow = 2 * time.Millisecond
+
+// stormServer starts an in-process server on a loopback port with the
+// tenant uploaded, and returns its address plus a shutdown func.
+func stormServer(p bfv.Params, db *core.EncryptedDB, name string, coalesce proto.CoalesceConfig) (string, func(), error) {
+	srv, err := proto.NewServerWithServing(p, core.EngineSpec{}, proto.StoreOptions{}, coalesce)
+	if err != nil {
+		return "", nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	go srv.Serve(l) //nolint:errcheck // returns when the listener closes
+	stop := func() {
+		l.Close()
+		srv.Close()
+	}
+	conn, err := proto.Dial(l.Addr().String(), p)
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	defer conn.Close()
+	if err := conn.UploadDB(name, core.EngineSpec{}, db); err != nil {
+		stop()
+		return "", nil, err
+	}
+	return l.Addr().String(), stop, nil
+}
+
+// RunStormBench measures the serving-path scenario: the standard 4 KiB
+// fixture geometry under conns concurrent same-database clients, with
+// and without server-side coalescing, via the same RunStorm driver
+// cmstorm uses. Pass conns<=0 / dur<=0 for the standard setting
+// (8 clients, 2s per side).
+func RunStormBench(conns int, dur time.Duration) (*StormBenchResult, error) {
+	if conns <= 0 {
+		conns = 8
+	}
+	if dur <= 0 {
+		dur = 2 * time.Second
+	}
+	p := bfv.ParamsPaper()
+	db, tgt, err := NewStormTenant(p, "stormbench", "engine-bench", 4096)
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(coalesce proto.CoalesceConfig) (*StormReport, error) {
+		addr, stop, err := stormServer(p, db, tgt.DB, coalesce)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		return RunStorm(StormConfig{
+			Addr:     addr,
+			Params:   p,
+			Targets:  []StormTarget{*tgt},
+			Conns:    conns,
+			Duration: dur,
+		})
+	}
+
+	base, err := run(proto.CoalesceConfig{}) // zero Window: coalescing off
+	if err != nil {
+		return nil, fmt.Errorf("harness: storm baseline: %w", err)
+	}
+	coal, err := run(proto.CoalesceConfig{Window: StormBenchWindow, MaxBatch: conns})
+	if err != nil {
+		return nil, fmt.Errorf("harness: storm coalesced: %w", err)
+	}
+
+	res := &StormBenchResult{
+		Conns:       conns,
+		DurationSec: dur.Seconds(),
+		WindowUs:    StormBenchWindow.Microseconds(),
+
+		BaselineQPS:      base.QPS,
+		QPS:              coal.QPS,
+		BaselineLatP50Ms: base.LatP50Ms,
+		LatP50Ms:         coal.LatP50Ms,
+		LatP95Ms:         coal.LatP95Ms,
+
+		CoalesceRate:                  coal.CoalesceRate,
+		BatchOccupancyMean:            coal.BatchOccupancyMean,
+		ChunkStreamsPerQuery:          coal.ChunkStreamsPerQuery,
+		UnbatchedChunkStreamsPerQuery: coal.UnbatchedChunkStreamsPerQuery,
+		ChunkStreamsSaved:             coal.ChunkStreamsSaved,
+		Errors:                        base.Errors + coal.Errors,
+		WrongResults:                  base.WrongResults + coal.WrongResults,
+	}
+	if base.QPS > 0 {
+		res.SpeedupPct = 100 * (coal.QPS - base.QPS) / base.QPS
+	}
+	return res, nil
+}

@@ -1,0 +1,294 @@
+// Package metrics is a small, dependency-free serving-metrics toolkit
+// for the CIPHERMATCH server: lock-free atomic counters and gauges plus
+// power-of-two-bucketed histograms, collected in a Registry that renders
+// either a flat name/value snapshot (the MsgStats wire reply) or
+// Prometheus-style text exposition (the cmserver /metrics endpoint).
+//
+// The hot-path cost of recording is one or two atomic adds — a search
+// under load must never serialise on a metrics mutex. Registration
+// (name lookup) is mutex-guarded but callers cache the returned handle,
+// so the map is only touched at setup time.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the bucket count of Histogram: bucket i holds samples
+// v with bitlen(v) == i, i.e. [2^(i-1), 2^i), with bucket 0 holding
+// v <= 0. 64 buckets cover the whole int64 range, so a nanosecond
+// latency histogram spans sub-ns to ~292 years with ≤2× resolution.
+const histBuckets = 64
+
+// Histogram is a lock-free power-of-two histogram. Observe is two
+// atomic adds plus one atomic max; quantiles are approximate (bucket
+// upper bound), which is plenty for latency percentiles where the
+// interesting signal is orders of magnitude.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed sample (0 before any Observe).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the average observed sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed samples: the upper edge of the bucket the quantile sample
+// falls in, clamped to the observed max. Returns 0 with no samples.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			upper := int64(1) << uint(i)
+			if i == 63 || upper <= 0 {
+				upper = h.max.Load()
+			}
+			if m := h.max.Load(); m < upper {
+				upper = m
+			}
+			return upper
+		}
+	}
+	return h.max.Load()
+}
+
+// KV is one flattened metric sample of a Registry snapshot — what
+// MsgStats ships. Histograms expand to _count/_sum/_max/_p50/_p95/_p99
+// entries so the wire stays a flat integer list.
+type KV struct {
+	Name  string
+	Value int64
+}
+
+// Registry is a named collection of metrics. Get-or-create lookups are
+// mutex-guarded; the returned handles record lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot flattens every metric into a name-sorted KV list: counters
+// and gauges verbatim, histograms as _count/_sum/_max/_p50/_p95/_p99.
+func (r *Registry) Snapshot() []KV {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]KV, 0, len(r.counters)+len(r.gauges)+6*len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, KV{name, c.Load()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, KV{name, g.Load()})
+	}
+	for name, h := range r.hists {
+		out = append(out,
+			KV{name + "_count", h.Count()},
+			KV{name + "_sum", h.Sum()},
+			KV{name + "_max", h.Max()},
+			KV{name + "_p50", h.Quantile(0.50)},
+			KV{name + "_p95", h.Quantile(0.95)},
+			KV{name + "_p99", h.Quantile(0.99)},
+		)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the value of one snapshot entry by name.
+func Lookup(kvs []KV, name string) (int64, bool) {
+	for _, kv := range kvs {
+		if kv.Name == name {
+			return kv.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format: counters and gauges as bare samples, histograms as summaries
+// with quantile labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedNames(counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Load()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[name].Load()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(hists) {
+		h := hists[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", name, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns an http.Handler serving the Prometheus exposition —
+// what cmserver mounts at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

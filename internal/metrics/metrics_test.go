@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("queries_total") != c {
+		t.Fatal("get-or-create returned a different counter for the same name")
+	}
+	g := r.Gauge("window_ns")
+	g.Set(250)
+	g.Add(-50)
+	if got := g.Load(); got != 200 {
+		t.Fatalf("gauge = %d, want 200", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// 90 samples near 100, 10 near 100000: p50 must land in the small
+	// cluster's bucket, p99 in the large one. Bounds are bucket upper
+	// edges (power-of-two), so assert ranges, not exact values.
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 90*100+10*100000 {
+		t.Fatalf("sum = %d", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 100 || p50 > 256 {
+		t.Fatalf("p50 = %d, want within [100, 256]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 100000 || p99 > 1<<17 {
+		t.Fatalf("p99 = %d, want within [100000, 131072]", p99)
+	}
+	if h.Max() != 100000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	// Quantiles never exceed the observed max.
+	if h.Quantile(1.0) != 100000 {
+		t.Fatalf("p100 = %d", h.Quantile(1.0))
+	}
+	h.Observe(0) // non-positive samples land in bucket 0
+	if h.Quantile(0.001) != 0 {
+		t.Fatalf("quantile floor = %d, want 0", h.Quantile(0.001))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d, want 1000", h.Max())
+	}
+}
+
+func TestSnapshotSortedAndFlattened(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Histogram("lat_ns").Observe(7)
+	kvs := r.Snapshot()
+	for i := 1; i < len(kvs); i++ {
+		if kvs[i-1].Name >= kvs[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", kvs[i-1].Name, kvs[i].Name)
+		}
+	}
+	if v, ok := Lookup(kvs, "a_total"); !ok || v != 1 {
+		t.Fatalf("a_total = %d (%v)", v, ok)
+	}
+	if v, ok := Lookup(kvs, "lat_ns_count"); !ok || v != 1 {
+		t.Fatalf("lat_ns_count = %d (%v)", v, ok)
+	}
+	if _, ok := Lookup(kvs, "lat_ns_p99"); !ok {
+		t.Fatal("snapshot missing histogram percentile entry")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Add(3)
+	r.Gauge("coalesce_window_ns").Set(150)
+	r.Histogram("queue_wait_ns").Observe(42)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE queries_total counter\nqueries_total 3\n",
+		"# TYPE coalesce_window_ns gauge\ncoalesce_window_ns 150\n",
+		"# TYPE queue_wait_ns summary\n",
+		`queue_wait_ns{quantile="0.99"}`,
+		"queue_wait_ns_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,577 @@
+// Server-side adaptive query coalescing. The batch kernel (core's
+// searchChunkRangeBatch) makes one pass over the ciphertext arena serve
+// a whole batch, but until now only the client could form a BatchQuery.
+// The Coalescer closes that gap for concurrent traffic: single MsgQuery
+// requests against the same database are held in a short per-database
+// batching window — fires at MaxBatch queries or after an adaptive
+// timeout, whichever first — merged into one internal core.BatchQuery,
+// run as one arena pass, and fanned back to their waiting connections.
+// At high QPS every arena pass is shared across the window's arrivals,
+// which is the paper's memory-traffic-is-the-bottleneck thesis applied
+// to request streams instead of residues.
+//
+// Around the window sits admission control: per-database pending-query
+// caps rejecting excess load with a typed wire error (MsgOverloaded)
+// instead of queueing unboundedly, a FIFO ready list that round-robins
+// batch execution fairly across databases, and a bounded executor pool
+// so a query storm cannot spawn unbounded goroutines.
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/core"
+	"ciphermatch/internal/metrics"
+)
+
+// ErrOverloaded is the admission-control rejection: the target
+// database's coalescing queue is at its depth cap. The wire maps it to
+// MsgOverloaded; clients should back off and retry.
+var ErrOverloaded = errors.New("proto: server overloaded, retry later")
+
+// errShutdown fails queries stranded in a queue when the coalescer
+// closes; it surfaces as MsgOverloaded too (the retry advice holds).
+var errShutdown = errors.New("proto: server shutting down")
+
+// CoalesceConfig tunes the server-side batching window and its
+// admission control. The zero value disables coalescing (every MsgQuery
+// runs as its own search, the pre-coalescing behaviour).
+type CoalesceConfig struct {
+	// Window is the maximum batching delay T: a pending batch never
+	// waits longer than this before executing. The actual wait adapts
+	// per database to the observed arrival rate (see adaptWindow) and
+	// only reaches Window under traffic dense enough to fill batches.
+	// Zero disables coalescing.
+	Window time.Duration
+	// MaxBatch fires a batch as soon as this many queries are pending
+	// (the N in "N queries or T µs"). Defaults to 16.
+	MaxBatch int
+	// MaxQueue caps pending (not yet executing) queries per database;
+	// arrivals beyond it are rejected with ErrOverloaded. Defaults to
+	// 16× MaxBatch. May be set below MaxBatch: batches then fill only
+	// up to the queue cap and fire by timer.
+	MaxQueue int
+	// Executors bounds concurrent batch executions across all
+	// databases. Defaults to GOMAXPROCS.
+	Executors int
+}
+
+func (c CoalesceConfig) withDefaults() CoalesceConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16 * c.MaxBatch
+	}
+	if c.Executors <= 0 {
+		c.Executors = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// coalesceResult is what an executor hands back to a waiting request.
+type coalesceResult struct {
+	candidates []int
+	err        error
+}
+
+// pendingQuery is one enqueued single query waiting for its batch. It
+// carries the raw wire bytes, not a decoded query: decoding is deferred
+// to batch execution, where byte-identical members (a hot query
+// replayed by many connections — exactly the traffic that coalesces)
+// share one decode.
+type pendingQuery struct {
+	raw      []byte // encoded query, name already stripped
+	enqueued time.Time
+	done     chan coalesceResult // buffered(1); exactly one send
+}
+
+// dbQueue is the per-database batching state. pending accumulates until
+// the batch trigger (size or timer) pushes the queue onto the ready
+// list; an executor then takes up to MaxBatch entries in one swap.
+type dbQueue struct {
+	name string
+
+	mu      sync.Mutex
+	pending []*pendingQuery
+	gen     uint64      // batch generation; stale timer fires no-op
+	timer   *time.Timer // armed while a batch is accumulating
+	dead    bool        // reaped from the queue map; lookups must retry
+
+	// Arrival-rate estimate: EWMA of inter-arrival time, feeding the
+	// adaptive window.
+	lastArrival time.Time
+	ewmaNs      float64
+}
+
+// Coalescer merges concurrently arriving single queries into batched
+// arena passes. One per Server; nil means coalescing is disabled.
+type Coalescer struct {
+	store  *Store
+	params bfv.Params
+	cfg    CoalesceConfig
+	met    *serverMetrics
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string]*dbQueue
+	ready  []*dbQueue // FIFO: round-robin fairness across databases
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewCoalescer builds a coalescer over a store and starts its executor
+// pool. Close must be called to stop the executors.
+func NewCoalescer(store *Store, params bfv.Params, cfg CoalesceConfig, met *serverMetrics) *Coalescer {
+	co := &Coalescer{
+		store:  store,
+		params: params,
+		cfg:    cfg.withDefaults(),
+		met:    met,
+		queues: make(map[string]*dbQueue),
+	}
+	co.cond = sync.NewCond(&co.mu)
+	co.wg.Add(co.cfg.Executors)
+	for i := 0; i < co.cfg.Executors; i++ {
+		go co.runExecutor()
+	}
+	return co
+}
+
+// SearchRaw enqueues one still-encoded query for the named database and
+// blocks until its batch has executed, returning the query's own
+// candidates. Results are bit-identical to decoding and running
+// Store.Search directly (the batch kernels are conformance-pinned to
+// the sequential path). Rejects with ErrOverloaded when the database's
+// queue is at its depth cap.
+func (co *Coalescer) SearchRaw(name string, raw []byte) ([]int, error) {
+	pq := &pendingQuery{raw: raw, enqueued: time.Now(), done: make(chan coalesceResult, 1)}
+	if err := co.enqueue(name, pq); err != nil {
+		return nil, err
+	}
+	res := <-pq.done
+	return res.candidates, res.err
+}
+
+// enqueue appends pq to the database's pending batch, arming the
+// adaptive window timer when it opens a new batch and pushing the queue
+// ready when it fills one.
+func (co *Coalescer) enqueue(name string, pq *pendingQuery) error {
+	for {
+		co.mu.Lock()
+		if co.closed {
+			co.mu.Unlock()
+			return errShutdown
+		}
+		q, ok := co.queues[name]
+		if !ok {
+			q = &dbQueue{name: name}
+			co.queues[name] = q
+		}
+		co.mu.Unlock()
+
+		q.mu.Lock()
+		if q.dead {
+			// Reaped between lookup and lock: retry against a fresh
+			// queue object.
+			q.mu.Unlock()
+			continue
+		}
+		if len(q.pending) >= co.cfg.MaxQueue {
+			q.mu.Unlock()
+			co.met.rejected.Inc()
+			return ErrOverloaded
+		}
+		now := pq.enqueued
+		if !q.lastArrival.IsZero() {
+			dt := float64(now.Sub(q.lastArrival))
+			if q.ewmaNs == 0 {
+				q.ewmaNs = dt
+			} else {
+				q.ewmaNs = 0.8*q.ewmaNs + 0.2*dt
+			}
+		}
+		q.lastArrival = now
+		q.pending = append(q.pending, pq)
+		n := len(q.pending)
+		var window time.Duration
+		if n == 1 {
+			// First query of a new batch: open the window.
+			window = co.adaptWindow(q.ewmaNs)
+			gen := q.gen
+			q.timer = time.AfterFunc(window, func() { co.timerFire(q, gen) })
+		}
+		q.mu.Unlock()
+
+		if n == 1 {
+			co.met.window.Set(int64(window))
+		}
+		if n == co.cfg.MaxBatch {
+			co.pushReady(q)
+		}
+		return nil
+	}
+}
+
+// adaptWindow sizes the batching window for a newly opened batch from
+// the observed mean inter-arrival time (ewmaNs):
+//
+//   - no observations yet: the full configured window (nothing is known
+//     about this tenant's rate, so optimise for coalescing);
+//   - dense traffic — MaxBatch-1 more arrivals expected within the
+//     cap: wait just long enough to fill the batch, no longer;
+//   - medium traffic — at least one more arrival expected within the
+//     cap: wait for one coalescing partner;
+//   - sparse traffic — not even one arrival expected within the cap:
+//     waiting would tax every query's latency for no occupancy, so
+//     fire (almost) immediately.
+//
+// The result is that solo clients see near-direct latency while query
+// storms fill whole batches — the "T adapting to observed arrival
+// rate" half of the N-or-T trigger.
+func (co *Coalescer) adaptWindow(ewmaNs float64) time.Duration {
+	maxW := co.cfg.Window
+	minW := maxW / 64
+	if minW < time.Microsecond {
+		minW = time.Microsecond
+	}
+	if ewmaNs <= 0 {
+		return maxW
+	}
+	fill := time.Duration(ewmaNs * float64(co.cfg.MaxBatch-1))
+	one := time.Duration(ewmaNs)
+	switch {
+	case fill <= maxW:
+		if fill < minW {
+			return minW
+		}
+		return fill
+	case one <= maxW:
+		return one
+	default:
+		return minW
+	}
+}
+
+// timerFire is the window-timeout trigger. A stale generation means the
+// batch it was armed for already executed (size trigger or an earlier
+// pop); firing then would only push a spurious ready entry.
+func (co *Coalescer) timerFire(q *dbQueue, gen uint64) {
+	q.mu.Lock()
+	stale := q.gen != gen || len(q.pending) == 0
+	q.mu.Unlock()
+	if !stale {
+		co.pushReady(q)
+	}
+}
+
+// pushReady appends the queue to the FIFO ready list. Duplicate entries
+// are tolerated (an executor popping a drained queue is a no-op), which
+// keeps the trigger paths free of cross-lock coordination.
+func (co *Coalescer) pushReady(q *dbQueue) {
+	co.mu.Lock()
+	if !co.closed {
+		co.ready = append(co.ready, q)
+		co.cond.Signal()
+	}
+	co.mu.Unlock()
+}
+
+// runExecutor is one worker of the bounded executor pool: pop the next
+// ready database (FIFO — fair round-robin across tenants), swap out up
+// to MaxBatch pending queries, run them as one batched arena pass, and
+// fan the per-member results back.
+func (co *Coalescer) runExecutor() {
+	defer co.wg.Done()
+	for {
+		co.mu.Lock()
+		for len(co.ready) == 0 && !co.closed {
+			co.cond.Wait()
+		}
+		if len(co.ready) == 0 && co.closed {
+			co.mu.Unlock()
+			return
+		}
+		q := co.ready[0]
+		co.ready = co.ready[1:]
+		co.mu.Unlock()
+
+		batch := co.takeBatch(q)
+		if len(batch) == 0 {
+			co.reapIfEmpty(q)
+			continue
+		}
+		co.execute(q.name, batch)
+		co.reapIfEmpty(q)
+	}
+}
+
+// takeBatch claims up to MaxBatch pending queries. A remainder beyond
+// MaxBatch becomes the next batch: its window timer is re-armed (or the
+// queue re-pushed when it already fills a batch), so burst tails are
+// never stranded.
+func (co *Coalescer) takeBatch(q *dbQueue) []*pendingQuery {
+	var repush bool
+	q.mu.Lock()
+	var batch []*pendingQuery
+	if len(q.pending) <= co.cfg.MaxBatch {
+		batch = q.pending
+		q.pending = nil
+	} else {
+		batch = q.pending[:co.cfg.MaxBatch:co.cfg.MaxBatch]
+		rest := make([]*pendingQuery, len(q.pending)-co.cfg.MaxBatch)
+		copy(rest, q.pending[co.cfg.MaxBatch:])
+		q.pending = rest
+	}
+	q.gen++ // any armed timer is now stale
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	if len(q.pending) >= co.cfg.MaxBatch {
+		repush = true
+	} else if len(q.pending) > 0 {
+		window := co.adaptWindow(q.ewmaNs)
+		gen := q.gen
+		q.timer = time.AfterFunc(window, func() { co.timerFire(q, gen) })
+	}
+	q.mu.Unlock()
+	if repush {
+		co.pushReady(q)
+	}
+	return batch
+}
+
+// queryGroup is one set of byte-identical batch members: they decode to
+// the same query, run as one evaluation, and share one result.
+type queryGroup struct {
+	members []*pendingQuery
+	q       *core.Query
+}
+
+// fan delivers one outcome to every member of the group. The candidate
+// slice is shared read-only across members (each send only encodes it).
+func (g *queryGroup) fan(res coalesceResult) {
+	for _, pq := range g.members {
+		pq.done <- res
+	}
+}
+
+// execute runs one coalesced batch through the store's batched search
+// and fans results back. Byte-identical members collapse into one group
+// first — the window's second big saving besides the shared arena pass:
+// a hot query replayed by N connections decodes once, not N times, and
+// occupies one batch slot. On a batch-level error it falls back to
+// per-group sequential searches so one malformed query cannot poison
+// the whole window's innocents (their errors stay their own).
+func (co *Coalescer) execute(name string, batch []*pendingQuery) {
+	start := time.Now()
+	for _, pq := range batch {
+		co.met.queueWait.Observe(int64(start.Sub(pq.enqueued)))
+	}
+	co.met.batches.Inc()
+	co.met.occupancy.Observe(int64(len(batch)))
+	if len(batch) > 1 {
+		co.met.coalesced.Add(int64(len(batch)))
+	}
+
+	// Group byte-identical payloads; deterministic encoders mean byte
+	// equality is exact query equality. Map lookups on string(pq.raw)
+	// do not copy; only the first member of each group allocates a key.
+	var groups []*queryGroup
+	byPayload := make(map[string]*queryGroup, len(batch))
+	for _, pq := range batch {
+		if g, ok := byPayload[string(pq.raw)]; ok {
+			g.members = append(g.members, pq)
+			co.met.decodesSaved.Inc()
+			continue
+		}
+		g := &queryGroup{members: []*pendingQuery{pq}}
+		byPayload[string(pq.raw)] = g
+		groups = append(groups, g)
+	}
+
+	// Decode once per group. A group that fails to decode fails alone.
+	live := groups[:0]
+	for _, g := range groups {
+		q, err := DecodeQuery(g.members[0].raw, co.params)
+		if err != nil {
+			co.met.failed.Add(int64(len(g.members)))
+			g.fan(coalesceResult{err: fmt.Errorf("decoding query: %w", err)})
+			continue
+		}
+		g.q = q
+		live = append(live, g)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	var streamed int64
+	if len(live) == 1 {
+		// One distinct query (lone arrival, or a fully duplicate window):
+		// the batch path gains nothing, run it direct.
+		g := live[0]
+		ir, err := co.store.Search(name, g.q)
+		if err != nil {
+			co.met.failed.Add(int64(len(g.members)))
+			g.fan(coalesceResult{err: err})
+			return
+		}
+		streamed = ir.Stats.ChunkStreams
+		candidates := ir.Candidates
+		ir.Release()
+		g.fan(coalesceResult{candidates: candidates})
+	} else {
+		queries := make([]*core.Query, len(live))
+		for i, g := range live {
+			queries[i] = g.q
+		}
+		bq := core.NewBatchQuery(queries...)
+		irs, err := co.store.SearchBatch(name, bq)
+		if err != nil {
+			// Batch-level failure (validation, missing database): isolate
+			// it by retrying each group alone, so only the offending
+			// members fail.
+			co.met.fallbacks.Inc()
+			for _, g := range live {
+				ir, err := co.store.Search(name, g.q)
+				if err != nil {
+					co.met.failed.Add(int64(len(g.members)))
+					g.fan(coalesceResult{err: err})
+					continue
+				}
+				co.met.chunkStreams.Add(ir.Stats.ChunkStreams)
+				candidates := ir.Candidates
+				ir.Release()
+				g.fan(coalesceResult{candidates: candidates})
+			}
+			return
+		}
+		for i, g := range live {
+			ir := irs[i]
+			streamed += ir.Stats.ChunkStreams
+			candidates := ir.Candidates
+			ir.Release()
+			g.fan(coalesceResult{candidates: candidates})
+		}
+	}
+	co.met.chunkStreams.Add(streamed)
+	// Arena passes saved: each member alone would have streamed every
+	// chunk once (the PR-5 single-pass invariant); the window shared
+	// those streams across members — between groups via the batch
+	// kernel's evaluation classes, within groups outright.
+	if solo := int64(len(batch)) * int64(live[0].q.NumChunks); solo > streamed {
+		co.met.streamsSaved.Add(solo - streamed)
+	}
+}
+
+// reapIfEmpty deletes the queue from the map once it has no pending
+// work, bounding coalescer memory to the set of actively queried names.
+// Lock order is co.mu → q.mu everywhere this pairing is taken; enqueue
+// holding q.mu never takes co.mu.
+func (co *Coalescer) reapIfEmpty(q *dbQueue) {
+	co.mu.Lock()
+	q.mu.Lock()
+	if len(q.pending) == 0 && !q.dead {
+		q.dead = true
+		delete(co.queues, q.name)
+	}
+	q.mu.Unlock()
+	co.mu.Unlock()
+}
+
+// Close stops the executor pool (draining the ready list first) and
+// fails every query still stranded in a queue with a shutdown error.
+func (co *Coalescer) Close() {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return
+	}
+	co.closed = true
+	co.cond.Broadcast()
+	co.mu.Unlock()
+	co.wg.Wait()
+
+	co.mu.Lock()
+	queues := make([]*dbQueue, 0, len(co.queues))
+	for _, q := range co.queues {
+		queues = append(queues, q)
+	}
+	co.queues = make(map[string]*dbQueue)
+	co.mu.Unlock()
+	for _, q := range queues {
+		q.mu.Lock()
+		pending := q.pending
+		q.pending = nil
+		q.dead = true
+		if q.timer != nil {
+			q.timer.Stop()
+			q.timer = nil
+		}
+		q.mu.Unlock()
+		for _, pq := range pending {
+			pq.done <- coalesceResult{err: errShutdown}
+		}
+	}
+}
+
+// serverMetrics is the server's serving-metrics catalog: handles cached
+// off the registry once, recorded lock-free on the hot paths. See
+// DESIGN.md's serving section for the catalog semantics.
+type serverMetrics struct {
+	reg   *metrics.Registry
+	start time.Time
+
+	queries      *metrics.Counter   // single queries accepted (MsgQuery)
+	batchMembers *metrics.Counter   // client-batched queries (MsgBatchQuery members)
+	uploads      *metrics.Counter   // databases uploaded
+	errorsTotal  *metrics.Counter   // requests answered with MsgError
+	rejected     *metrics.Counter   // admission-control rejections (MsgOverloaded)
+	failed       *metrics.Counter   // coalesced queries that returned an error
+	batches      *metrics.Counter   // coalesced batches executed
+	coalesced    *metrics.Counter   // queries that shared a batch with ≥1 other
+	fallbacks    *metrics.Counter   // batches degraded to per-member retries
+	chunkStreams *metrics.Counter   // arena chunk streams actually performed
+	streamsSaved *metrics.Counter   // arena chunk streams avoided by coalescing
+	decodesSaved *metrics.Counter   // query decodes avoided by payload dedup
+	occupancy    *metrics.Histogram // queries per coalesced batch
+	queueWait    *metrics.Histogram // ns from enqueue to batch execution
+	window       *metrics.Gauge     // last adaptive batching window, ns
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	return &serverMetrics{
+		reg:          reg,
+		start:        time.Now(),
+		queries:      reg.Counter("queries_total"),
+		batchMembers: reg.Counter("batch_queries_total"),
+		uploads:      reg.Counter("uploads_total"),
+		errorsTotal:  reg.Counter("errors_total"),
+		rejected:     reg.Counter("queries_rejected_total"),
+		failed:       reg.Counter("queries_failed_total"),
+		batches:      reg.Counter("batches_total"),
+		coalesced:    reg.Counter("coalesced_queries_total"),
+		fallbacks:    reg.Counter("batch_fallbacks_total"),
+		chunkStreams: reg.Counter("chunk_streams_total"),
+		streamsSaved: reg.Counter("chunk_streams_saved_total"),
+		decodesSaved: reg.Counter("query_decodes_saved_total"),
+		occupancy:    reg.Histogram("batch_occupancy"),
+		queueWait:    reg.Histogram("queue_wait_ns"),
+		window:       reg.Gauge("coalesce_window_ns"),
+	}
+}
+
+// snapshot returns the flattened metrics, stamping uptime so clients
+// can derive rates (QPS = queries_total / uptime) from one reply.
+func (m *serverMetrics) snapshot() []metrics.KV {
+	m.reg.Gauge("uptime_ns").Set(int64(time.Since(m.start)))
+	return m.reg.Snapshot()
+}

@@ -1,12 +1,14 @@
 package proto
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/core"
+	"ciphermatch/internal/metrics"
 )
 
 // Server is the network-facing CIPHERMATCH service: a multi-tenant
@@ -19,6 +21,8 @@ import (
 type Server struct {
 	params bfv.Params
 	store  *Store
+	met    *serverMetrics
+	co     *Coalescer // nil = coalescing disabled (every query runs direct)
 }
 
 // NewServer creates a server whose databases default to the serial
@@ -30,7 +34,7 @@ func NewServer(params bfv.Params) *Server {
 // NewServerWithSpec creates a server with a default engine spec applied
 // to uploads that do not request a specific engine.
 func NewServerWithSpec(params bfv.Params, defaultSpec core.EngineSpec) *Server {
-	return &Server{params: params, store: NewStore(params, defaultSpec)}
+	return &Server{params: params, store: NewStore(params, defaultSpec), met: newServerMetrics()}
 }
 
 // NewServerWithOptions creates a server over a durable store: uploads
@@ -38,16 +42,43 @@ func NewServerWithSpec(params bfv.Params, defaultSpec core.EngineSpec) *Server {
 // every tenant from the directory, and opts.MemBudget bounds resident
 // arenas via LRU eviction.
 func NewServerWithOptions(params bfv.Params, defaultSpec core.EngineSpec, opts StoreOptions) (*Server, error) {
+	return NewServerWithServing(params, defaultSpec, opts, CoalesceConfig{})
+}
+
+// NewServerWithServing creates a server with both store durability and
+// the serving layer configured: a non-zero coalesce.Window enables
+// server-side adaptive query coalescing — concurrently arriving single
+// queries against one database merge into shared batched arena passes —
+// with its admission control (per-database queue caps, bounded
+// executors, MsgOverloaded backpressure).
+func NewServerWithServing(params bfv.Params, defaultSpec core.EngineSpec, opts StoreOptions, coalesce CoalesceConfig) (*Server, error) {
 	store, err := NewStoreWithOptions(params, defaultSpec, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{params: params, store: store}, nil
+	s := &Server{params: params, store: store, met: newServerMetrics()}
+	if coalesce.Window > 0 {
+		s.co = NewCoalescer(store, params, coalesce, s.met)
+	}
+	return s, nil
 }
 
 // Store exposes the database registry (for embedding the server
 // in-process).
 func (s *Server) Store() *Store { return s.store }
+
+// Metrics exposes the serving-metrics registry (for the /metrics HTTP
+// endpoint and tests).
+func (s *Server) Metrics() *metrics.Registry { return s.met.reg }
+
+// Close stops the coalescer (failing stranded queries) and retires the
+// store. Call on shutdown after the listener has closed.
+func (s *Server) Close() error {
+	if s.co != nil {
+		s.co.Close()
+	}
+	return s.store.Close()
+}
 
 // Serve accepts connections until the listener closes. Each connection
 // may carry any number of requests.
@@ -74,7 +105,15 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		reply, body, err := s.handleMessage(msgType, payload)
 		if err != nil {
-			reply, body = MsgError, []byte(err.Error())
+			// Admission-control rejections travel typed so clients can
+			// distinguish transient overload (retry with backoff) from a
+			// request that will never succeed.
+			if errors.Is(err, ErrOverloaded) || errors.Is(err, errShutdown) {
+				reply, body = MsgOverloaded, []byte(err.Error())
+			} else {
+				s.met.errorsTotal.Inc()
+				reply, body = MsgError, []byte(err.Error())
+			}
 		}
 		if err := WriteMessage(conn, reply, body); err != nil {
 			return
@@ -92,20 +131,18 @@ func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, erro
 		if err := s.store.Upload(name, spec, db); err != nil {
 			return 0, nil, err
 		}
+		s.met.uploads.Inc()
 		return MsgAck, nil, nil
 	case MsgQuery:
-		name, q, err := DecodeNamedQuery(payload, s.params)
+		s.met.queries.Inc()
+		candidates, err := s.searchOne(payload)
 		if err != nil {
-			return 0, nil, fmt.Errorf("decoding query: %w", err)
-		}
-		ir, err := s.store.Search(name, q)
-		if err != nil {
+			if errors.Is(err, ErrOverloaded) || errors.Is(err, errShutdown) {
+				return 0, nil, err
+			}
 			return 0, nil, fmt.Errorf("search: %w", err)
 		}
-		body, err := EncodeResult(ir.Candidates)
-		// Only candidates cross the wire; recycle the hit bitmaps so the
-		// request loop's bitset storage is reused across searches.
-		ir.Release()
+		body, err := EncodeResult(candidates)
 		if err != nil {
 			return 0, nil, fmt.Errorf("encoding result: %w", err)
 		}
@@ -115,20 +152,26 @@ func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, erro
 		if err != nil {
 			return 0, nil, fmt.Errorf("decoding batch query: %w", err)
 		}
+		s.met.batchMembers.Add(int64(len(bq.Queries)))
 		irs, err := s.store.SearchBatch(name, bq)
 		if err != nil {
 			return 0, nil, fmt.Errorf("batch search: %w", err)
 		}
 		results := make([][]int, len(irs))
+		var streamed int64
 		for i, ir := range irs {
 			results[i] = ir.Candidates
+			streamed += ir.Stats.ChunkStreams
 			ir.Release() // candidates only; recycle the hit bitmaps
 		}
+		s.met.chunkStreams.Add(streamed)
 		body, err := EncodeBatchResult(results)
 		if err != nil {
 			return 0, nil, fmt.Errorf("encoding batch result: %w", err)
 		}
 		return MsgBatchResult, body, nil
+	case MsgStats:
+		return MsgStatsResult, EncodeStats(s.met.snapshot()), nil
 	case MsgListDBs:
 		return MsgDBList, EncodeDBList(s.store.List()), nil
 	case MsgDropDB:
@@ -143,6 +186,35 @@ func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, erro
 	default:
 		return 0, nil, fmt.Errorf("unexpected message type %d", msgType)
 	}
+}
+
+// searchOne routes a single MsgQuery payload through the coalescer when
+// configured, and directly through the store otherwise. The two paths
+// return bit-identical candidates; the coalesced one defers the query
+// decode into the batching window (identical payloads decode once) and
+// shares arena passes with concurrent arrivals.
+func (s *Server) searchOne(payload []byte) ([]int, error) {
+	if s.co != nil {
+		name, raw, err := SplitNamedQuery(payload)
+		if err != nil {
+			return nil, fmt.Errorf("decoding query: %w", err)
+		}
+		return s.co.SearchRaw(name, raw)
+	}
+	name, q, err := DecodeNamedQuery(payload, s.params)
+	if err != nil {
+		return nil, fmt.Errorf("decoding query: %w", err)
+	}
+	ir, err := s.store.Search(name, q)
+	if err != nil {
+		return nil, err
+	}
+	s.met.chunkStreams.Add(ir.Stats.ChunkStreams)
+	candidates := ir.Candidates
+	// Only candidates cross the wire; recycle the hit bitmaps so the
+	// request loop's bitset storage is reused across searches.
+	ir.Release()
+	return candidates, nil
 }
 
 // Conn is the client side of the protocol. A Conn serialises its own
@@ -191,16 +263,57 @@ func (c *Conn) UploadDB(name string, spec core.EngineSpec, db *core.EncryptedDB)
 // (core.ModeSeededMatch): the server generates the index and only the
 // index travels back.
 func (c *Conn) Search(name string, q *core.Query) ([]int, error) {
+	payload, err := c.PrepareSearch(name, q)
+	if err != nil {
+		return nil, err
+	}
+	return c.SearchPrepared(payload)
+}
+
+// PrepareSearch pre-encodes one named-query request. Encoding a large
+// query is not cheap (the factored wire form carries one polynomial per
+// chunk); a client that resends the same query — a load generator, a
+// poller — pays it once here and replays the payload with
+// SearchPrepared instead of re-encoding per send.
+func (c *Conn) PrepareSearch(name string, q *core.Query) ([]byte, error) {
 	if !q.HasTokens() {
 		return nil, fmt.Errorf("proto: remote search requires match tokens (core.ModeSeededMatch)")
 	}
-	reply, body, err := c.roundTrip(MsgQuery, EncodeNamedQuery(name, q, c.params))
+	return EncodeNamedQuery(name, q, c.params), nil
+}
+
+// SearchPrepared sends a request payload built by PrepareSearch (on
+// this or any Conn to the same server — payloads are connection-
+// independent) and decodes the reply like Search.
+func (c *Conn) SearchPrepared(payload []byte) ([]int, error) {
+	reply, body, err := c.roundTrip(MsgQuery, payload)
 	if err != nil {
 		return nil, err
 	}
 	switch reply {
 	case MsgResult:
 		return DecodeResult(body)
+	case MsgOverloaded:
+		return nil, fmt.Errorf("proto: %s: %w", body, ErrOverloaded)
+	case MsgError:
+		return nil, fmt.Errorf("proto: server error: %s", body)
+	default:
+		return nil, fmt.Errorf("proto: unexpected reply type %d", reply)
+	}
+}
+
+// ServerStats fetches the server's serving-metrics snapshot: flat
+// name/value samples (counters, gauges, histogram summaries) — QPS
+// inputs, batch occupancy, queue latency, coalesce rate, arena passes
+// saved. See DESIGN.md for the catalog.
+func (c *Conn) ServerStats() ([]metrics.KV, error) {
+	reply, body, err := c.roundTrip(MsgStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch reply {
+	case MsgStatsResult:
+		return DecodeStats(body)
 	case MsgError:
 		return nil, fmt.Errorf("proto: server error: %s", body)
 	default:

@@ -19,6 +19,7 @@ import (
 
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/core"
+	"ciphermatch/internal/metrics"
 	"ciphermatch/internal/ring"
 )
 
@@ -36,6 +37,14 @@ const (
 	MsgDropDB      byte = 8 // name -> MsgAck
 	MsgBatchQuery  byte = 9 // name + batch of queries -> MsgBatchResult
 	MsgBatchResult byte = 10
+	MsgStats       byte = 11 // empty -> MsgStatsResult (serving-metrics snapshot)
+	MsgStatsResult byte = 12
+	// MsgOverloaded is the typed admission-control rejection: the
+	// addressed database's coalescing queue is at its depth cap (or the
+	// server is shutting down), so the query was refused *before* any
+	// work — retry with backoff. Distinct from MsgError so clients can
+	// tell transient overload from a request that will never succeed.
+	MsgOverloaded byte = 13
 )
 
 // MaxNameLen bounds database names on the wire.
@@ -102,6 +111,21 @@ func (b *buffer) putUint32(v uint32) {
 }
 
 func (b *buffer) putInt(v int) { b.putUint32(uint32(v)) }
+
+func (b *buffer) putUint64(v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	b.data = append(b.data, tmp[:]...)
+}
+
+func (b *buffer) uint64() (uint64, error) {
+	if b.off+8 > len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint64(b.data[b.off:])
+	b.off += 8
+	return v, nil
+}
 
 func (b *buffer) uint32() (uint32, error) {
 	if b.off+4 > len(b.data) {
@@ -579,6 +603,20 @@ func EncodeNamedQuery(name string, q *core.Query, p bfv.Params) []byte {
 	return b.data
 }
 
+// SplitNamedQuery peels the database name off a MsgQuery payload
+// without decoding the query itself. The coalescer routes on the name
+// and deduplicates members on the raw query bytes, deferring the
+// expensive decode (one polynomial per chunk in the factored form) to
+// batch execution, where identical payloads decode once per window.
+func SplitNamedQuery(data []byte) (string, []byte, error) {
+	b := buffer{data: data}
+	name, err := b.string()
+	if err != nil {
+		return "", nil, err
+	}
+	return name, data[b.off:], nil
+}
+
 // DecodeNamedQuery is the inverse of EncodeNamedQuery.
 func DecodeNamedQuery(data []byte, p bfv.Params) (string, *core.Query, error) {
 	b := buffer{data: data}
@@ -712,6 +750,41 @@ func (b *buffer) candidates() ([]int, error) {
 		out[i] = int(v)
 	}
 	return out, nil
+}
+
+// EncodeStats serialises a serving-metrics snapshot (MsgStatsResult): a
+// flat list of (name, int64 value) samples, the Registry.Snapshot
+// flattening. Names are what keys the catalog; values are 64-bit so
+// counters never wrap on the wire.
+func EncodeStats(kvs []metrics.KV) []byte {
+	var b buffer
+	b.putInt(len(kvs))
+	for _, kv := range kvs {
+		b.putString(kv.Name)
+		b.putUint64(uint64(kv.Value))
+	}
+	return b.data
+}
+
+// DecodeStats is the inverse of EncodeStats.
+func DecodeStats(data []byte) ([]metrics.KV, error) {
+	b := buffer{data: data}
+	n, err := b.count(12) // name length word + 8 value bytes
+	if err != nil {
+		return nil, err
+	}
+	kvs := make([]metrics.KV, n)
+	for i := range kvs {
+		if kvs[i].Name, err = b.string(); err != nil {
+			return nil, err
+		}
+		v, err := b.uint64()
+		if err != nil {
+			return nil, err
+		}
+		kvs[i].Value = int64(v)
+	}
+	return kvs, nil
 }
 
 // EncodeResult serialises candidate offsets. It fails on offsets above

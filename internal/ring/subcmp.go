@@ -25,45 +25,62 @@ package ring
 // coefficients and every bits[v] must cover bits [base, base+len(a)).
 func (r *Ring) SubCmpMultiBits(a, d Poly, rhs []Poly, bits [][]uint64, base int) {
 	n := len(a)
-	var diff [64]uint64
 	i := 0
-	if base&63 == 0 {
-		// Word-at-a-time: 64 differences land in a stack buffer, then
-		// each comparand folds its 64 compares into one register,
-		// stored only when at least one window hit.
-		for ; i+64 <= n; i += 64 {
-			aa, dd := a[i:i+64], d[i:i+64]
-			if r.qIsPow2 {
-				mask := r.mask
-				for k := range aa {
-					diff[k] = (aa[k] - dd[k]) & mask
+	// Scalar prologue: walk coefficient-wise up to the next 64-bit bitset
+	// boundary so the word-at-a-time body below runs for any base, not
+	// just word-aligned ones.
+	if rem := base & 63; rem != 0 {
+		pro := 64 - rem
+		if pro > n {
+			pro = n
+		}
+		r.subCmpScalar(a, d, rhs, bits, base, 0, pro)
+		i = pro
+	}
+	// Word-at-a-time body: 64 differences land in a stack buffer, then
+	// each comparand folds its 64 compares into one register, stored
+	// only when at least one window hit.
+	var diff [64]uint64
+	for ; i+64 <= n; i += 64 {
+		aa, dd := a[i:i+64], d[i:i+64]
+		if r.qIsPow2 {
+			mask := r.mask
+			for k := range aa {
+				diff[k] = (aa[k] - dd[k]) & mask
+			}
+		} else {
+			q := r.q
+			for k := range aa {
+				t := aa[k] + q - dd[k] // d < q, no underflow
+				if t >= q {
+					t -= q
 				}
-			} else {
-				q := r.q
-				for k := range aa {
-					t := aa[k] + q - dd[k] // d < q, no underflow
-					if t >= q {
-						t -= q
-					}
-					diff[k] = t
+				diff[k] = t
+			}
+		}
+		wi := (base + i) >> 6
+		for v, rp := range rhs {
+			tt := rp[i : i+64]
+			var w uint64
+			for k := range tt {
+				if diff[k] == tt[k] {
+					w |= 1 << uint(k)
 				}
 			}
-			wi := (base + i) >> 6
-			for v, rp := range rhs {
-				tt := rp[i : i+64]
-				var w uint64
-				for k := range tt {
-					if diff[k] == tt[k] {
-						w |= 1 << uint(k)
-					}
-				}
-				if w != 0 {
-					bits[v][wi] |= w
-				}
+			if w != 0 {
+				bits[v][wi] |= w
 			}
 		}
 	}
-	for ; i < n; i++ {
+	// Scalar epilogue: the sub-word tail.
+	r.subCmpScalar(a, d, rhs, bits, base, i, n)
+}
+
+// subCmpScalar is the coefficient-at-a-time fallback of SubCmpMultiBits
+// over coefficients [lo, hi), shared by the unaligned prologue and the
+// tail epilogue.
+func (r *Ring) subCmpScalar(a, d Poly, rhs []Poly, bits [][]uint64, base, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var t uint64
 		if r.qIsPow2 {
 			t = (a[i] - d[i]) & r.mask

@@ -90,3 +90,117 @@ func TestSubCmpMultiBitsAccumulates(t *testing.T) {
 	}
 	r.SubCmpMultiBits(a, d, nil, nil, 0) // zero comparands: must not panic
 }
+
+// TestSubCmpMultiBitsUnalignedBases sweeps every base alignment within a
+// word (plus a few word offsets) and checks the prologue + word body +
+// epilogue decomposition against a reference scalar evaluation. This
+// pins the unaligned fast path: before the prologue existed, any
+// unaligned base fell back to the fully scalar loop (correct but slow),
+// so only correctness was covered — now the word body must also engage
+// mid-polynomial without setting or dropping a single bit.
+func TestSubCmpMultiBitsUnalignedBases(t *testing.T) {
+	for _, fam := range addCmpFamilies {
+		t.Run(fam.name, func(t *testing.T) {
+			r := MustNew(fam.n, fam.q)
+			src := rng.NewSourceFromString("subcmp-unaligned-" + fam.name)
+			a, d := r.NewPoly(), r.NewPoly()
+			r.UniformPoly(src, a)
+			r.UniformPoly(src, d)
+			diff := r.NewPoly()
+			r.Sub(a, d, diff)
+			rhs := []Poly{r.NewPoly(), r.NewPoly()}
+			for v := range rhs {
+				r.UniformPoly(src, rhs[v])
+				for i := range rhs[v] {
+					if src.Uniform(3) == 0 {
+						rhs[v][i] = diff[i]
+					}
+				}
+			}
+			bases := make([]int, 0, 70)
+			for b := 0; b < 66; b++ {
+				bases = append(bases, b)
+			}
+			bases = append(bases, 127, 128, 1000, 64*37+13)
+			for _, base := range bases {
+				words := (base + fam.n + 63) / 64
+				bits := make([][]uint64, len(rhs))
+				for v := range bits {
+					bits[v] = make([]uint64, words)
+				}
+				r.SubCmpMultiBits(a, d, rhs, bits, base)
+				for v := range rhs {
+					for i := 0; i < fam.n; i++ {
+						want := diff[i] == rhs[v][i]
+						got := bits[v][(base+i)>>6]&(1<<(uint(base+i)&63)) != 0
+						if got != want {
+							t.Fatalf("base %d rhs %d coeff %d: got %v want %v", base, v, i, got, want)
+						}
+					}
+					// Words below the base range must stay untouched.
+					for w := 0; w < base>>6; w++ {
+						if bits[v][w] != 0 {
+							t.Fatalf("base %d rhs %d: word %d below base written", base, v, w)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubCmpMultiBits measures the residue-fused kernel at the
+// comparand counts that matter for serving (R shift variants per query),
+// reporting coefficients/sec — the figure of merit for ROADMAP item 1's
+// vectorized-kernel work, where ns/op alone hides the multi-lane
+// amortisation. The aligned case is the arena hot path; the unaligned
+// case exercises the scalar-prologue + word-body split.
+func BenchmarkSubCmpMultiBits(b *testing.B) {
+	const n = 4096
+	r := MustNew(n, 1<<32)
+	src := rng.NewSourceFromString("subcmp-bench")
+	a, d := r.NewPoly(), r.NewPoly()
+	r.UniformPoly(src, a)
+	r.UniformPoly(src, d)
+	const maxR = 16
+	rhs := make([]Poly, maxR)
+	for v := range rhs {
+		rhs[v] = r.NewPoly()
+		r.UniformPoly(src, rhs[v])
+	}
+	for _, R := range []int{1, 4, 16} {
+		for _, base := range []int{0, 37} {
+			name := "R=" + itoa(R)
+			if base != 0 {
+				name += "/unaligned"
+			}
+			b.Run(name, func(b *testing.B) {
+				bits := make([][]uint64, R)
+				for v := range bits {
+					bits[v] = make([]uint64, (base+n+63)/64)
+				}
+				b.SetBytes(2 * n * 8) // a and d, each streamed once per call
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.SubCmpMultiBits(a, d, rhs[:R], bits, base)
+				}
+				coeffs := float64(n) * float64(R) * float64(b.N)
+				b.ReportMetric(coeffs/b.Elapsed().Seconds(), "coeffs/s")
+			})
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
