@@ -30,7 +30,7 @@
 //
 // The implementation is a research artifact: the cryptography is not
 // constant-time and the paper's parameter set trades security margin for
-// evaluation speed (see DESIGN.md §9). Do not protect real data with it.
+// evaluation speed (see DESIGN.md §10). Do not protect real data with it.
 package ciphermatch
 
 import (
@@ -290,5 +290,6 @@ func Search(data, query []byte, alignBits int, seed *Seed) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ir.Release()
 	return VerifyCandidates(data, dbBits, query, len(query)*8, ir.Candidates), nil
 }

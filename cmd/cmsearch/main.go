@@ -86,6 +86,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer result.Release()
 
 	fmt.Printf("database: %d bytes in %d encrypted chunks (%d bytes encrypted)\n",
 		len(data), len(db.Chunks), db.SizeBytes(cfg.Params))
@@ -136,6 +137,9 @@ func batchSearch(server *ciphermatch.Server, client *ciphermatch.Client, path st
 		for _, o := range offsets {
 			fmt.Printf("  bit offset %d (byte %d)\n", o, o/8)
 		}
+	}
+	for _, ir := range results {
+		ir.Release()
 	}
 }
 

@@ -1,0 +1,157 @@
+// Command cmvet runs the CIPHERMATCH invariant checkers (hotpath
+// purity, constant-time branches, wire-size bounds, pool release
+// discipline, atomic field consistency) over the module.
+//
+// Three invocation modes:
+//
+//	cmvet [patterns...]      analyze module packages (default ./...);
+//	                         exit 1 if any finding survives //cm:allow
+//	cmvet -dir path          analyze one directory as an ad-hoc package
+//	                         (used for fixtures); exit 1 on findings
+//	go vet -vettool=$(which cmvet) ./...
+//	                         the go vet unit protocol: cmvet is invoked
+//	                         per package with a .cfg file, prints
+//	                         findings to stderr and exits non-zero
+//
+// Findings print in go vet's file:line:col form with the analyzer name
+// bracketed, so editors and CI annotate them natively.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ciphermatch/internal/analysis"
+	"ciphermatch/internal/analysis/registry"
+)
+
+func main() {
+	// The go vet protocol probes the tool before any real work:
+	// `-V=full` asks for a version line keyed by the tool's content
+	// (for build caching), `-flags` asks which flags the tool accepts.
+	args := os.Args[1:]
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		fmt.Printf("cmvet version 1 buildID=%s\n", selfHash())
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+
+	var (
+		dirMode  = flag.String("dir", "", "analyze one directory as an ad-hoc package")
+		listOnly = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range registry.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var (
+		pkgs []*analysis.Package
+		dirs *analysis.Directives
+		err  error
+	)
+	if *dirMode != "" {
+		var pkg *analysis.Package
+		pkg, dirs, err = analysis.LoadDir(*dirMode)
+		if pkg != nil {
+			pkgs = []*analysis.Package{pkg}
+		}
+	} else {
+		wd, werr := os.Getwd()
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "cmvet:", werr)
+			os.Exit(2)
+		}
+		pkgs, dirs, err = analysis.LoadModule(wd, flag.Args()...)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmvet:", err)
+		os.Exit(2)
+	}
+
+	diags, err := analysis.Run(pkgs, dirs, registry.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// vetUnit handles one `go vet` package unit. Contract with cmd/go: the
+// VetxOutput file must always be written (it is the unit's cache
+// entry), findings go to stderr, and the exit status is non-zero iff
+// there are findings.
+func vetUnit(cfgPath string) int {
+	cfg, err := analysis.ReadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmvet:", err)
+		return 2
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte("cmvet\n"), 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "cmvet:", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only unit: nothing to report, just publish facts
+		// (cmvet keeps none — directives are re-scanned from source).
+		writeVetx()
+		return 0
+	}
+	pkg, dirs, err := analysis.LoadVetUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "cmvet:", err)
+		return 2
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, dirs, registry.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmvet:", err)
+		return 2
+	}
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selfHash fingerprints the executable so the go command's vet cache
+// invalidates when cmvet itself changes.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))[:32]
+}

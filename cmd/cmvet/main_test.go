@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmvet compiles the tool once per test binary into a temp dir.
+func buildCmvet(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "cmvet")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building cmvet: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestExitNonzeroOnBadFixture is the canary: a tool that silently
+// stopped finding anything would let CI go green on broken invariants.
+func TestExitNonzeroOnBadFixture(t *testing.T) {
+	exe := buildCmvet(t)
+	cmd := exec.Command(exe, "-dir", "testdata/bad")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("cmvet exited 0 on the seeded bad fixture; output:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("cmvet did not run: %v\n%s", err, out)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("cmvet exit code = %d, want 1 (findings); output:\n%s", ee.ExitCode(), out)
+	}
+	text := string(out)
+	for _, want := range []string{"[hotpath]", "[ctbranch]", "[wiresize]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("expected a %s finding in output:\n%s", want, text)
+		}
+	}
+}
+
+// TestVersionProbe covers the go vet -vettool handshake: the tool must
+// answer -V=full with a "<name> version <id>" line.
+func TestVersionProbe(t *testing.T) {
+	exe := buildCmvet(t)
+	out, err := exec.Command(exe, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cmvet -V=full: %v\n%s", err, out)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[0] != "cmvet" || fields[1] != "version" {
+		t.Fatalf("bad -V=full output %q, want \"cmvet version <id>\"", string(out))
+	}
+}
+
+// TestFlagsProbe covers the other handshake: -flags must emit a JSON
+// flag list (empty — cmvet takes no analyzer flags from go vet).
+func TestFlagsProbe(t *testing.T) {
+	exe := buildCmvet(t)
+	out, err := exec.Command(exe, "-flags").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cmvet -flags: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Fatalf("cmvet -flags output %q, want []", string(out))
+	}
+}
+
+// TestCleanOnModule pins the headline acceptance criterion: the repo's
+// own tree carries zero unsuppressed findings.
+func TestCleanOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide analysis is not short")
+	}
+	exe := buildCmvet(t)
+	cmd := exec.Command(exe, "./...")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cmvet ./... reported findings or failed: %v\n%s", err, out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd))
+}

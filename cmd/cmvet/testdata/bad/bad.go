@@ -1,0 +1,22 @@
+// Package bad is a deliberately broken fixture: cmvet must exit
+// non-zero when pointed at it (the CI job's canary that the tool still
+// detects anything at all).
+package bad
+
+import "encoding/binary"
+
+//cm:hotpath
+func leakyKernel(a []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	for i := range a {
+		if a[i] == 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func decodeUnbounded(data []byte) []byte {
+	n := binary.LittleEndian.Uint32(data)
+	return make([]byte, n)
+}

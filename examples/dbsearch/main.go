@@ -57,6 +57,7 @@ func main() {
 			log.Fatal(err)
 		}
 		verified := ciphermatch.VerifyCandidates(flat, dbBits, qBytes, qBits, result.Candidates)
+		result.Release()
 		fmt.Printf("key %-9q: ", key)
 		found := false
 		for _, o := range verified {

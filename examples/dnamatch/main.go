@@ -67,6 +67,7 @@ func main() {
 		}
 		verified := ciphermatch.VerifyCandidates(packedGenome, genomeBits, packedRead, readBits, result.Candidates)
 		fmt.Printf("%s: %d bp, %d shift variants, %d hom-adds -> ", read.name, len(read.bases), len(q.Residues), result.Stats.HomAdds)
+		result.Release()
 		if len(verified) == 0 {
 			fmt.Println("no mapping")
 			continue

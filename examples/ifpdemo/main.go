@@ -67,6 +67,8 @@ func main() {
 		same = swResult.Candidates[i] == ifpResult.Candidates[i]
 	}
 	fmt.Printf("identical: %v\n\n", same)
+	swResult.Release()
+	ifpResult.Release()
 
 	fs := drive.FlashStats()
 	cs := drive.ControllerStats()

@@ -56,6 +56,7 @@ func main() {
 
 	// Client side: exact verification of candidate boundary bits.
 	verified := ciphermatch.VerifyCandidates(data, dbBits, needle, len(needle)*8, result.Candidates)
+	result.Release()
 	for _, o := range verified {
 		fmt.Printf("match at byte %d: %q\n", o/8, data[o/8:o/8+len(needle)])
 	}

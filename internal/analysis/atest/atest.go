@@ -1,0 +1,129 @@
+// Package atest is the golden-test harness for cmvet analyzers, a
+// small offline analogue of go/analysis/analysistest. A fixture is one
+// directory of Go files (stdlib imports only) annotated with
+// end-of-line expectations:
+//
+//	n := make([]byte, sz) // want `derives from a wire-read value`
+//
+// Run loads the directory as an ad-hoc package, executes the analyzer
+// through the same driver cmvet uses (so //cm:allow suppression is
+// exercised too), and fails the test for every diagnostic with no
+// matching expectation and every expectation with no matching
+// diagnostic.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ciphermatch/internal/analysis"
+)
+
+// expectation is one `// want` annotation: a line that must produce a
+// diagnostic whose message matches the pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run checks one analyzer against the fixture directory.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, dirs, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, dirs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, pkg, c)...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseWants extracts the expectations of one comment. The syntax is
+// `// want` followed by one or more Go string literals (quoted or
+// backquoted), each a regexp over the diagnostic message.
+func parseWants(t *testing.T, pkg *analysis.Package, c *ast.Comment) []*expectation {
+	t.Helper()
+	text, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*expectation
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		lit, remainder, err := cutStringLit(rest)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want annotation: %v", pos.Filename, pos.Line, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, lit, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+		rest = strings.TrimSpace(remainder)
+	}
+	return out
+}
+
+// cutStringLit splits one leading Go string literal off s.
+func cutStringLit(s string) (lit, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("empty pattern")
+	}
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string in %q", s)
+		}
+		return s[1 : 1+end], s[2+end:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				lit, err := strconv.Unquote(s[:i+1])
+				return lit, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated string in %q", s)
+	default:
+		return "", "", fmt.Errorf("pattern must be a string literal, got %q", s)
+	}
+}

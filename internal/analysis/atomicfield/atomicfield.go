@@ -1,0 +1,102 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields: a field that is accessed through sync/atomic package
+// functions anywhere in the package (atomic.AddInt64(&s.n, 1), ...)
+// must be accessed through sync/atomic everywhere — one plain load or
+// store silently turns every "atomic" counter read into a data race the
+// race detector only catches if a test happens to interleave it.
+//
+// Fields of the typed atomic.Int64/Uint64/... wrappers are immune by
+// construction (the type system already forbids plain access) and never
+// enter the tracked set; the analyzer exists for the mixed style, where
+// a plain int64 field is atomically accessed in one place and casually
+// read in another. Intentional pre-publication plain access (struct
+// setup before the value is shared) is suppressed with
+// //cm:allow atomicfield.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ciphermatch/internal/analysis"
+)
+
+// Analyzer is the mixed atomic/plain field access checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flag plain accesses to struct fields that are elsewhere accessed via sync/atomic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: collect fields whose address is taken for a sync/atomic
+	// call, and remember those argument expressions so pass 2 does not
+	// flag the atomic sites themselves.
+	atomicFields := make(map[*types.Var]bool)
+	atomicSites := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(info, sel); fld != nil {
+					atomicFields[fld] = true
+					atomicSites[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selection of those fields is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel] {
+				return true
+			}
+			fld := fieldOf(info, sel)
+			if fld == nil || !atomicFields[fld] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access races", fld.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves a selector expression to the struct field it selects,
+// nil when it selects something else (method, package member, ...).
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}

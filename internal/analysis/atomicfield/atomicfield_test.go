@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"ciphermatch/internal/analysis/atest"
+	"ciphermatch/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	atest.Run(t, "testdata/atomicfield", atomicfield.Analyzer)
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the atomicfield analyzer: fields accessed
+// through sync/atomic functions anywhere must be accessed that way
+// everywhere; typed atomics and consistently-plain fields pass.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	typed atomic.Int64
+	plain int64
+}
+
+func (c *counters) incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) badRead() int64 {
+	return c.hits // want `accessed with sync/atomic elsewhere; this plain access races`
+}
+
+func (c *counters) badWrite() {
+	c.hits = 0 // want `accessed with sync/atomic elsewhere; this plain access races`
+}
+
+func (c *counters) goodTyped() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+func (c *counters) goodPlain() int64 {
+	c.plain++
+	return c.plain
+}
+
+func (c *counters) allowedReset() {
+	//cm:allow atomicfield -- pre-publication reset, no concurrent readers yet
+	c.hits = 0
+}

@@ -1,0 +1,248 @@
+// Package ctbranch enforces the constant-time discipline of the fused
+// search kernels: inside a //cm:hotpath function, no branch condition
+// and no index expression may data-flow from the contents of
+// slice-typed parameters — the ciphertext coefficient planes the kernel
+// streams. The kernels must compute hit bits with masks (the
+// zero-stores-on-miss design), not with per-coefficient branches whose
+// timing and store pattern leak which coefficients matched.
+//
+// The check is a conservative intra-procedural taint walk over the
+// function's syntax (the repo's offline framework has no SSA): loads
+// from slice/array parameters seed the taint set, assignments and
+// slice aliases propagate it to a fixpoint, and any if/switch/for
+// condition or index operand that ends up tainted is reported.
+// Deliberate data-dependent sinks — the aggregated hit-word store
+// elision (`if w != 0`) — carry //cm:allow ctbranch with a reason.
+package ctbranch
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ciphermatch/internal/analysis"
+)
+
+// Analyzer is the constant-time branch checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctbranch",
+	Doc:  "flag branches and variable-index loads on ciphertext-derived data in //cm:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for fd, fn := range analysis.HotpathFuncs(pass) {
+		checkFunc(pass, fd, fn)
+	}
+	return nil
+}
+
+// checkFunc taints loads from slice parameters, propagates through
+// local assignments and slice aliases to a fixpoint, then reports
+// tainted control-flow conditions and indices.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, fn *types.Func) {
+	info := pass.TypesInfo
+
+	// secretSlices holds variables whose *elements* are secret: the
+	// slice/array parameters themselves, aliases and re-slices of
+	// them, and local buffers that tainted values were stored into.
+	// tainted holds scalar locals carrying secret values.
+	secretSlices := make(map[types.Object]bool)
+	tainted := make(map[types.Object]bool)
+
+	sig := fn.Type().(*types.Signature)
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		if isSliceLike(p.Type()) {
+			secretSlices[p] = true
+		}
+	}
+	if recv := sig.Recv(); recv != nil && isSliceLike(recv.Type()) {
+		secretSlices[recv] = true
+	}
+
+	// exprTainted reports whether evaluating e observes secret data:
+	// an element load from a secret slice, or a use of a tainted
+	// local.
+	var exprTainted func(e ast.Expr) bool
+	exprTainted = func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := info.Uses[n]; obj != nil && tainted[obj] {
+					found = true
+				}
+			case *ast.IndexExpr:
+				if base := exprObj(info, n.X); base != nil && secretSlices[base] {
+					found = true
+				}
+			case *ast.CallExpr:
+				// Calls return untainted values (the walk is
+				// intra-procedural), and len/cap observe structure,
+				// not contents — skip the whole call. Conversions of
+				// tainted operands stay tainted.
+				if analysis.IsConversion(info, n) {
+					return true
+				}
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	// exprSecretSlice reports whether e evaluates to a slice view whose
+	// elements are secret: a secret slice itself, or a re-slice of one.
+	exprSecretSlice := func(e ast.Expr) bool {
+		for {
+			switch v := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				obj := info.Uses[v]
+				return obj != nil && secretSlices[obj]
+			case *ast.SliceExpr:
+				e = v.X
+			case *ast.IndexExpr:
+				// A row of a secret [][]T is itself secret-elemented.
+				if base := exprObj(info, v.X); base != nil && secretSlices[base] {
+					return true
+				}
+				return false
+			default:
+				return false
+			}
+		}
+	}
+
+	assignObj := func(id *ast.Ident) types.Object {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+
+	// Propagate to a fixpoint so chains resolve regardless of
+	// statement order in loops.
+	for {
+		changed := false
+		mark := func(m map[types.Object]bool, obj types.Object) {
+			if obj != nil && !m[obj] {
+				m[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs == nil {
+						continue
+					}
+					switch l := ast.Unparen(lhs).(type) {
+					case *ast.Ident:
+						obj := assignObj(l)
+						if obj == nil {
+							continue
+						}
+						if exprSecretSlice(rhs) {
+							mark(secretSlices, obj)
+						}
+						if exprTainted(rhs) {
+							mark(tainted, obj)
+						}
+					case *ast.IndexExpr:
+						// Storing a tainted value into a local buffer
+						// makes that buffer's elements secret
+						// (diff[k] = a[k] - d[k]).
+						if exprTainted(rhs) || exprTainted(n.Rhs[0]) {
+							mark(secretSlices, exprObj(info, l.X))
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// for i, v := range p: the value is an element load,
+				// the index is not.
+				if n.Value != nil && exprSecretSlice(n.X) {
+					if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok {
+						mark(tainted, assignObj(id))
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Report tainted control flow and tainted indices.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if exprTainted(n.Cond) {
+				pass.Reportf(n.Cond.Pos(), "branch condition in hotpath function %s depends on ciphertext-derived data", fd.Name.Name)
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && exprTainted(n.Cond) {
+				pass.Reportf(n.Cond.Pos(), "loop condition in hotpath function %s depends on ciphertext-derived data", fd.Name.Name)
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && exprTainted(n.Tag) {
+				pass.Reportf(n.Tag.Pos(), "switch tag in hotpath function %s depends on ciphertext-derived data", fd.Name.Name)
+			}
+			for _, clause := range n.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if exprTainted(e) {
+						pass.Reportf(e.Pos(), "switch case in hotpath function %s depends on ciphertext-derived data", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			// A tainted index is a secret-dependent memory access (a
+			// classic cache side channel) even without a branch.
+			if exprTainted(n.Index) {
+				pass.Reportf(n.Index.Pos(), "index in hotpath function %s depends on ciphertext-derived data", fd.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.LAND || n.Op == token.LOR {
+				// Short-circuit evaluation is a branch.
+				if exprTainted(n.X) || exprTainted(n.Y) {
+					pass.Reportf(n.Pos(), "short-circuit operator in hotpath function %s evaluates ciphertext-derived data", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprObj resolves an expression to a variable object when it is a
+// plain (possibly parenthesised) identifier.
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+func isSliceLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctbranch_test
+
+import (
+	"testing"
+
+	"ciphermatch/internal/analysis/atest"
+	"ciphermatch/internal/analysis/ctbranch"
+)
+
+func TestCtbranch(t *testing.T) {
+	atest.Run(t, "testdata/ctbranch", ctbranch.Analyzer)
+}

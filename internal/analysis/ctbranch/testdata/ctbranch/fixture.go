@@ -1,0 +1,103 @@
+// Package fixture exercises the ctbranch analyzer: branchless
+// mask-based kernels pass, data-dependent control flow and indexing on
+// slice-parameter contents is flagged.
+package fixture
+
+//cm:hotpath
+func ctGood(a, d []uint64, bits []uint64, q uint64) {
+	for i := range a {
+		t := a[i] - d[i]
+		t -= q & (((t - q) >> 63) - 1)
+		m := ((t | -t) >> 63) ^ 1
+		bits[i>>6] |= m << uint(i&63)
+	}
+}
+
+//cm:hotpath
+func ctBadBranch(a, d []uint64, bits []uint64) {
+	for i := range a {
+		if a[i] == d[i] { // want `branch condition .* depends on ciphertext-derived data`
+			bits[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+//cm:hotpath
+func ctBadIndex(a, lut []uint64) uint64 {
+	var acc uint64
+	for i := range a {
+		acc ^= lut[a[i]&255] // want `index .* depends on ciphertext-derived data`
+	}
+	return acc
+}
+
+//cm:hotpath
+func ctBadPropagated(a []uint64) int {
+	t := a[0]
+	u := t ^ 42
+	if u > 7 { // want `branch condition .* depends on ciphertext-derived data`
+		return 1
+	}
+	return 0
+}
+
+//cm:hotpath
+func ctBadAlias(a []uint64) int {
+	w := a[:8]
+	n := 0
+	for _, v := range w {
+		if v != 0 { // want `branch condition .* depends on ciphertext-derived data`
+			n++
+		}
+	}
+	return n
+}
+
+//cm:hotpath
+func ctBadSwitch(a []uint64) int {
+	switch a[0] { // want `switch tag .* depends on ciphertext-derived data`
+	case 0:
+		return 1
+	}
+	return 0
+}
+
+//cm:hotpath
+func ctBadShortCircuit(a []uint64, ok bool) bool {
+	return ok && a[0] == 1 // want `short-circuit operator .* evaluates ciphertext-derived data`
+}
+
+//cm:hotpath
+func ctBadLocalBuf(a []uint64) int {
+	var diff [4]uint64
+	for i := range diff {
+		diff[i] = a[i]
+	}
+	if diff[0] == 0 { // want `branch condition .* depends on ciphertext-derived data`
+		return 1
+	}
+	return 0
+}
+
+//cm:hotpath
+func ctAllowed(a []uint64, bits []uint64) {
+	var w uint64
+	for i := range a {
+		w |= a[i]
+	}
+	//cm:allow ctbranch -- aggregated hit-word store elision: only reveals word-granular nonzero, by design
+	if w != 0 {
+		bits[0] |= w
+	}
+}
+
+// ctLoopBoundsOK: loop structure over len() and untainted indices never
+// trips the analyzer.
+//
+//cm:hotpath
+func ctLoopBoundsOK(a []uint64, out []uint64) {
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		out[i] = a[i]
+	}
+}

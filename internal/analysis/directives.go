@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives is the module-wide table of `//cm:` source directives:
+//
+//	//cm:hotpath                      (function doc) alloc-free, branch-
+//	                                  disciplined kernel; checked by the
+//	                                  hotpath and ctbranch analyzers
+//	//cm:pooled                       (function doc) results are pooled
+//	                                  and owe a Release on every path
+//	//cm:allow <names> [-- reason]    suppress the named analyzers on
+//	                                  this line and the next
+//
+// Hotpath/pooled marks are keyed by the function's full name (the
+// types.Func.FullName rendering), so a parse-only scan of the whole
+// module resolves callees across packages without export-data facts.
+type Directives struct {
+	hotpath map[string]bool
+	pooled  map[string]bool
+	// allow maps filename -> line -> analyzer names suppressed there.
+	allow map[string]map[int]map[string]bool
+}
+
+// NewDirectives returns an empty table.
+func NewDirectives() *Directives {
+	return &Directives{
+		hotpath: make(map[string]bool),
+		pooled:  make(map[string]bool),
+		allow:   make(map[string]map[int]map[string]bool),
+	}
+}
+
+// Hotpath reports whether the function with the given full name is
+// marked //cm:hotpath.
+func (d *Directives) Hotpath(fullName string) bool { return d.hotpath[fullName] }
+
+// Pooled reports whether the function with the given full name is
+// marked //cm:pooled.
+func (d *Directives) Pooled(fullName string) bool { return d.pooled[fullName] }
+
+// Allowed reports whether a diagnostic of the named analyzer at
+// (filename, line) is suppressed by a //cm:allow on that line or the
+// line above it.
+func (d *Directives) Allowed(analyzer, filename string, line int) bool {
+	byLine := d.allow[filename]
+	if byLine == nil {
+		return false
+	}
+	for _, l := range [2]int{line, line - 1} {
+		if names := byLine[l]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// AddFile scans one parsed file (comments required) of the package with
+// import path pkgPath into the table.
+func (d *Directives) AddFile(fset *token.FileSet, pkgPath string, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name, rest, ok := parseDirective(c.Text)
+			if !ok || name != "allow" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			byLine := d.allow[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int]map[string]bool)
+				d.allow[pos.Filename] = byLine
+			}
+			names := byLine[pos.Line]
+			if names == nil {
+				names = make(map[string]bool)
+				byLine[pos.Line] = names
+			}
+			for _, a := range splitAllowNames(rest) {
+				names[a] = true
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		switch decl := decl.(type) {
+		case *ast.FuncDecl:
+			d.addFuncMarks(decl.Doc, funcDeclFullName(pkgPath, decl))
+		case *ast.GenDecl:
+			// Interface method docs: marking Engine.SearchAndIndex as
+			// //cm:pooled covers every call through the interface.
+			for _, spec := range decl.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				iface, ok := ts.Type.(*ast.InterfaceType)
+				if !ok {
+					continue
+				}
+				for _, m := range iface.Methods.List {
+					for _, nameIdent := range m.Names {
+						full := "(" + pkgPath + "." + ts.Name.Name + ")." + nameIdent.Name
+						d.addFuncMarks(m.Doc, full)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (d *Directives) addFuncMarks(doc *ast.CommentGroup, fullName string) {
+	if doc == nil || fullName == "" {
+		return
+	}
+	for _, c := range doc.List {
+		switch name, _, ok := parseDirective(c.Text); {
+		case !ok:
+		case name == "hotpath":
+			d.hotpath[fullName] = true
+		case name == "pooled":
+			d.pooled[fullName] = true
+		}
+	}
+}
+
+// parseDirective splits a `//cm:name rest` comment; directives must
+// start flush after the slashes, like //go: build directives.
+func parseDirective(text string) (name, rest string, ok bool) {
+	const prefix = "//cm:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	body := text[len(prefix):]
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		return body[:i], strings.TrimSpace(body[i+1:]), true
+	}
+	return body, "", true
+}
+
+// splitAllowNames parses the analyzer list of a //cm:allow body,
+// dropping the `-- reason` trailer.
+func splitAllowNames(rest string) []string {
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+}
+
+// funcDeclFullName synthesises the types.Func.FullName rendering from
+// bare syntax: "pkg.Func" for functions, "(pkg.T).M" / "(*pkg.T).M"
+// for methods. Type parameters on generic receivers are dropped, which
+// matches FullName on the origin object.
+func funcDeclFullName(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkgPath + "." + fd.Name.Name
+	}
+	star, base := recvTypeName(fd.Recv.List[0].Type)
+	if base == "" {
+		return ""
+	}
+	ptr := ""
+	if star {
+		ptr = "*"
+	}
+	return "(" + ptr + pkgPath + "." + base + ")." + fd.Name.Name
+}
+
+// recvTypeName reduces a receiver type expression to (pointer?, base
+// type name), unwrapping parens and generic instantiations.
+func recvTypeName(expr ast.Expr) (star bool, name string) {
+	for {
+		switch t := expr.(type) {
+		case *ast.ParenExpr:
+			expr = t.X
+		case *ast.StarExpr:
+			star = true
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return star, t.Name
+		default:
+			return star, ""
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the function or method object a call expression
+// invokes, nil for calls through function values, builtins and
+// conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return nil
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// BuiltinName returns the name of the builtin a call invokes ("make",
+// "len", ...), or "" when the call is not a builtin.
+func BuiltinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// IsConversion reports whether a call expression is a type conversion.
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// FuncDeclObj returns the *types.Func a declaration defines.
+func FuncDeclObj(info *types.Info, fd *ast.FuncDecl) *types.Func {
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// HotpathFuncs yields every function declaration in the pass marked
+// //cm:hotpath, with its resolved object.
+func HotpathFuncs(pass *Pass) map[*ast.FuncDecl]*types.Func {
+	out := make(map[*ast.FuncDecl]*types.Func)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := FuncDeclObj(pass.TypesInfo, fd)
+			if fn == nil {
+				continue
+			}
+			if pass.Dirs.Hotpath(FuncFullName(fn)) {
+				out[fd] = fn
+			}
+		}
+	}
+	return out
+}
+
+// IsInterface reports whether t's underlying type is an interface.
+func IsInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// IsMap reports whether t's underlying type is a map.
+func IsMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// TypeOf is a nil-tolerant Info.TypeOf.
+func TypeOf(info *types.Info, e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return info.TypeOf(e)
+}

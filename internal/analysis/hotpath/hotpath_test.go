@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"ciphermatch/internal/analysis/atest"
+	"ciphermatch/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	atest.Run(t, "testdata/hotpath", hotpath.Analyzer)
+}

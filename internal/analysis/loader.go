@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+}
+
+// exportLookup adapts an importpath→exportfile map to the lookup
+// signature of the stdlib gc importer.
+func exportLookup(exports map[string]string, importMap map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// goList runs `go list -export -deps -json` over the given patterns in
+// dir and returns the decoded package stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list failed: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadModule loads and type-checks the packages matching patterns
+// (default ./...) in the module containing dir, plus a directive table
+// scanned over every module package (dependencies included, so
+// cross-package //cm:hotpath and //cm:pooled marks resolve). Package
+// dependencies are imported from `go list -export` gc export data, so
+// only the analyzed packages themselves are type-checked from source.
+func LoadModule(dir string, patterns ...string) ([]*Package, *Directives, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string)
+	var moduleListed []listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && len(p.GoFiles) > 0 {
+			moduleListed = append(moduleListed, p)
+		}
+	}
+	sort.Slice(moduleListed, func(i, j int) bool {
+		return moduleListed[i].ImportPath < moduleListed[j].ImportPath
+	})
+
+	fset := token.NewFileSet()
+	dirs := NewDirectives()
+	type parsed struct {
+		listedPackage
+		files []*ast.File
+	}
+	var all []parsed
+	for _, p := range moduleListed {
+		files, err := parseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, f := range files {
+			dirs.AddFile(fset, p.ImportPath, f)
+		}
+		all = append(all, parsed{p, files})
+	}
+
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports, nil))
+	var pkgs []*Package
+	for _, p := range all {
+		if p.DepOnly {
+			continue
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, p.files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: type-checking %s: %v", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  p.ImportPath,
+			Dir:   p.Dir,
+			Fset:  fset,
+			Files: p.files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, dirs, nil
+}
+
+// LoadDir loads a single directory as an ad-hoc package outside any
+// module — how analyzer test fixtures and seeded bad-fixture dirs are
+// checked. Imports must resolve through the standard library; their
+// export data comes from one `go list -export` over the fixture's
+// import set.
+func LoadDir(dir string) (*Package, *Directives, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: %v", err)
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, bp.Dir, bp.GoFiles)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgPath := bp.Name
+	dirs := NewDirectives()
+	for _, f := range files {
+		dirs.AddFile(fset, pkgPath, f)
+	}
+
+	exports := make(map[string]string)
+	if len(bp.Imports) > 0 {
+		listed, err := goList(dir, bp.Imports)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", exportLookup(exports, nil))}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %v", dir, err)
+	}
+	return &Package{Path: pkgPath, Dir: bp.Dir, Fset: fset, Files: files, Types: tpkg, Info: info}, dirs, nil
+}
+
+// VetConfig is the JSON configuration `go vet -vettool` hands the tool
+// for each package unit (the cmd/go vet protocol).
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses a vet .cfg file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("analysis: parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// LoadVetUnit type-checks the vet config's package against the export
+// data the go command already built, and scans the enclosing module
+// (found by walking up from cfg.Dir to go.mod) for the directive table
+// so cross-package marks keep resolving under `go vet -vettool`.
+func LoadVetUnit(cfg *VetConfig) (*Package, *Directives, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, gf := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", exportLookup(cfg.PackageFile, cfg.ImportMap))}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	dirs := NewDirectives()
+	if root, modPath, ok := findModule(cfg.Dir); ok {
+		scanModuleDirectives(dirs, root, modPath)
+	}
+	// The unit's own files may include test files the module scan
+	// skipped; fold their directives in too (idempotent).
+	for _, f := range files {
+		dirs.AddFile(fset, cfg.ImportPath, f)
+	}
+	return &Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Types: tpkg, Info: info}, dirs, nil
+}
+
+// parseFiles parses named files of one directory with comments.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, ok bool) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", false
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, found := strings.CutPrefix(line, "module "); found {
+					return dir, strings.TrimSpace(rest), true
+				}
+			}
+			return "", "", false
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", false
+		}
+		dir = parent
+	}
+}
+
+// scanModuleDirectives parse-only scans every buildable package under
+// root into the directive table. Cheap (no type checking): it exists so
+// a per-package vet unit still sees //cm:hotpath marks on functions in
+// sibling packages.
+func scanModuleDirectives(dirs *Directives, root, modPath string) {
+	fset := token.NewFileSet()
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") {
+			return filepath.SkipDir
+		}
+		bp, err := build.ImportDir(path, 0)
+		if err != nil {
+			return nil // no buildable files here
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return nil
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		for _, name := range bp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(path, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				continue
+			}
+			dirs.AddFile(fset, pkgPath, f)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,12 @@
+package poolrelease_test
+
+import (
+	"testing"
+
+	"ciphermatch/internal/analysis/atest"
+	"ciphermatch/internal/analysis/poolrelease"
+)
+
+func TestPoolrelease(t *testing.T) {
+	atest.Run(t, "testdata/poolrelease", poolrelease.Analyzer)
+}

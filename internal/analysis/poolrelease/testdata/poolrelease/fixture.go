@@ -1,0 +1,134 @@
+// Package fixture exercises the poolrelease analyzer: pooled values
+// that are Released, returned, stored or handed off pass; values that
+// are only read, and discarded pooled results, are flagged.
+package fixture
+
+type result struct {
+	n    int
+	hits *bitset
+}
+
+type bitset struct{ w []uint64 }
+
+func (r *result) Release() {}
+func (b *bitset) Release() {}
+
+//cm:pooled
+func acquire() *result { return &result{} }
+
+//cm:pooled
+func acquireErr() (*result, error) { return &result{}, nil }
+
+func useRelease() int {
+	r := acquire()
+	defer r.Release()
+	return r.n
+}
+
+func useReturn() *result {
+	r := acquire()
+	return r
+}
+
+func useStore(dst []*result) {
+	r := acquire()
+	dst[0] = r
+}
+
+func useHandoff() {
+	r := acquire()
+	consume(r)
+}
+
+func consume(r *result) { r.Release() }
+
+func useErrPath() (int, error) {
+	r, err := acquireErr()
+	if err != nil {
+		return 0, err
+	}
+	defer r.Release()
+	return r.n, nil
+}
+
+func useInnerRelease() int {
+	r := acquire()
+	n := r.n
+	r.hits.Release()
+	return n
+}
+
+func useComposite() []*result {
+	r := acquire()
+	return []*result{r}
+}
+
+func useSend(ch chan *result) {
+	r := acquire()
+	ch <- r
+}
+
+//cm:pooled
+func acquireBatch() ([]*result, error) { return nil, nil }
+
+func useRangeRelease() error {
+	rs, err := acquireBatch()
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		r.Release()
+	}
+	return nil
+}
+
+func useIndexedRelease(k int) error {
+	rs, err := acquireBatch()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < k; i++ {
+		r := rs[i]
+		r.Release()
+	}
+	return nil
+}
+
+func useBadBatchRead() (int, error) {
+	rs, err := acquireBatch() // want `never Released, returned, stored or handed off`
+	if err != nil {
+		return 0, err
+	}
+	return len(rs), nil
+}
+
+func useIndexStore(dst [][]*result) {
+	dst[0][1] = acquire()
+}
+
+func useBadRead() int {
+	r := acquire() // want `never Released, returned, stored or handed off`
+	return r.n
+}
+
+func useBadUnused() {
+	r := acquire() // want `never Released, returned, stored or handed off`
+	_ = r.n
+}
+
+func useBadDiscard() {
+	acquire() // want `discarded without Release`
+}
+
+func useBadBlank() {
+	_, err := acquireErr() // want `discarded without Release`
+	if err != nil {
+		return
+	}
+}
+
+func useAllowed() int {
+	//cm:allow poolrelease -- fixture value is not pool-backed in this configuration
+	r := acquire()
+	return r.n
+}

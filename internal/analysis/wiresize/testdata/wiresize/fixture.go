@@ -1,0 +1,99 @@
+// Package fixture exercises the wiresize analyzer: allocations sized by
+// raw wire reads are flagged, count()-bounded and comparison-checked
+// sizes pass.
+package fixture
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errTooBig = errors.New("too big")
+
+type buffer struct {
+	data []byte
+	off  int
+}
+
+func (b *buffer) uint32() uint32 {
+	v := binary.LittleEndian.Uint32(b.data[b.off:])
+	b.off += 4
+	return v
+}
+
+// count reads an element count and bounds it by the bytes remaining —
+// the sanctioned pattern.
+func (b *buffer) count(elemBytes int) (int, error) {
+	n := int(b.uint32())
+	if n < 0 || n > (len(b.data)-b.off)/elemBytes {
+		return 0, errTooBig
+	}
+	return n, nil
+}
+
+func decodeBad(b *buffer) []uint64 {
+	n := int(b.uint32())
+	return make([]uint64, n) // want `derives from a wire-read value`
+}
+
+func decodeDerivedBad(b *buffer) []byte {
+	n := int(b.uint32())
+	sz := n * 8
+	return make([]byte, sz) // want `derives from a wire-read value`
+}
+
+func decodeRawBad(data []byte) []byte {
+	n := binary.BigEndian.Uint64(data)
+	return make([]byte, n) // want `derives from a wire-read value`
+}
+
+func decodeCounted(b *buffer) ([]uint64, error) {
+	n, err := b.count(8)
+	if err != nil {
+		return nil, err
+	}
+	return make([]uint64, n), nil
+}
+
+func decodeChecked(b *buffer) []uint64 {
+	n := int(b.uint32())
+	if n > 1024 {
+		return nil
+	}
+	return make([]uint64, n)
+}
+
+func decodeClamped(b *buffer) []uint64 {
+	n := int(b.uint32())
+	n = min(n, 1024)
+	return make([]uint64, n)
+}
+
+func decodeAllowed(b *buffer) []byte {
+	n := int(b.uint32())
+	//cm:allow wiresize -- trusted local snapshot format, size validated by outer checksum
+	return make([]byte, n)
+}
+
+// capOnlyBad: the capacity operand is attacker-sized even though the
+// length is constant.
+func capOnlyBad(b *buffer) []byte {
+	n := int(b.uint32())
+	return make([]byte, 0, n) // want `derives from a wire-read value`
+}
+
+// decodeExactLen: the exact-length idiom — the count is validated by
+// requiring the payload to be exactly the implied size, with the
+// tainted variable nested inside the comparison's arithmetic.
+func decodeExactLen(data []byte) []uint64 {
+	n := int(binary.LittleEndian.Uint32(data))
+	if len(data) != 4+8*n {
+		return nil
+	}
+	return make([]uint64, n)
+}
+
+// untaintedOK: sizes with no wire provenance never trip the analyzer.
+func untaintedOK(k int) []byte {
+	return make([]byte, k)
+}

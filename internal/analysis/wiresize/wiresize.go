@@ -1,0 +1,248 @@
+// Package wiresize guards the decoders against allocation-amplification
+// payloads: any integer read off the wire (encoding/binary reads, the
+// proto buffer-cursor accessors) is attacker-controlled, and using it as
+// a make() size lets a few bytes of payload demand gigabytes of heap.
+// The sanctioned patterns are the division-bounded count() accessor —
+// which caps an element count by the bytes actually remaining in the
+// payload — and an explicit comparison against a bound before the
+// allocation.
+//
+// The walk is intra-procedural and flow-insensitive: values assigned
+// from wire-read calls are tainted, taint propagates through arithmetic,
+// conversions and re-assignment, and a tainted variable is cleansed if
+// it came from count() or appears anywhere in a comparison. A make()
+// whose size operand is still tainted is reported. Flow-insensitivity
+// means a bound check anywhere in the function sanitises — deliberately
+// forgiving, so every report is worth reading.
+package wiresize
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ciphermatch/internal/analysis"
+)
+
+// Analyzer is the wire-length bounds checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiresize",
+	Doc:  "flag make() sizes derived from wire-read integers without a bound check",
+	Run:  run,
+}
+
+// wireReadNames are function/method names whose integer results come
+// straight off the wire: the encoding/binary accessors and the repo's
+// proto buffer-cursor readers.
+var wireReadNames = map[string]bool{
+	"int": true, "uint16": true, "uint32": true, "uint64": true,
+	"varint": true, "uvarint": true,
+	"Uint16": true, "Uint32": true, "Uint64": true,
+	"Varint": true, "Uvarint": true,
+	"ReadVarint": true, "ReadUvarint": true,
+}
+
+// sanitizerNames are accessors whose results are already bounded by
+// construction (count caps by remaining payload bytes / element size).
+var sanitizerNames = map[string]bool{
+	"count": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	tainted := make(map[types.Object]bool)
+	sanitized := make(map[types.Object]bool)
+
+	// callKind classifies a call: wire-read source, sanitizer, or
+	// neither. Conversions are neither — int(x) must not match the
+	// buffer cursor's int() accessor.
+	callKind := func(call *ast.CallExpr) (source, sanitizer bool) {
+		if analysis.IsConversion(info, call) {
+			return false, false
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		default:
+			return false, false
+		}
+		if fn := analysis.Callee(info, call); fn != nil {
+			if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "encoding/binary" {
+				return wireReadNames[name], false
+			}
+		}
+		return wireReadNames[name], sanitizerNames[name]
+	}
+
+	// exprTainted reports whether e's value derives from an unsanitised
+	// wire read: a direct source call, or arithmetic over tainted
+	// variables.
+	var exprTainted func(e ast.Expr) bool
+	exprTainted = func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := info.Uses[n]; obj != nil && tainted[obj] && !sanitized[obj] {
+					found = true
+				}
+			case *ast.CallExpr:
+				if src, _ := callKind(n); src {
+					found = true
+					return false
+				}
+				if analysis.IsConversion(info, n) {
+					return true // conversions propagate taint
+				}
+				return false // other calls return clean values
+			}
+			return true
+		})
+		return found
+	}
+
+	assignObj := func(id *ast.Ident) types.Object {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+
+	// Propagate taint and collect sanitising comparisons to a fixpoint.
+	for {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				// Tuple form n, err := b.count(8) / n, err := b.int():
+				// classify once, apply to the non-error results.
+				if len(n.Rhs) == 1 {
+					if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+						src, san := callKind(call)
+						if src || san {
+							for _, lhs := range n.Lhs {
+								id, ok := ast.Unparen(lhs).(*ast.Ident)
+								if !ok || id.Name == "_" {
+									continue
+								}
+								obj := assignObj(id)
+								if obj == nil || isErrorType(obj.Type()) {
+									continue
+								}
+								if san && !sanitized[obj] {
+									sanitized[obj] = true
+									changed = true
+								}
+								if src && !tainted[obj] {
+									tainted[obj] = true
+									changed = true
+								}
+							}
+							return true
+						}
+					}
+				}
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs == nil {
+						continue
+					}
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := assignObj(id)
+					if obj == nil {
+						continue
+					}
+					if exprTainted(rhs) && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.BinaryExpr:
+				// A comparison mentioning the tainted variable counts
+				// as its bound check, even nested in arithmetic
+				// (`len(data) != 4+8*n` is the exact-length idiom).
+				switch n.Op {
+				case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+					for _, side := range [2]ast.Expr{n.X, n.Y} {
+						ast.Inspect(side, func(m ast.Node) bool {
+							id, ok := m.(*ast.Ident)
+							if !ok {
+								return true
+							}
+							if obj := info.Uses[id]; obj != nil && tainted[obj] && !sanitized[obj] {
+								sanitized[obj] = true
+								changed = true
+							}
+							return true
+						})
+					}
+				}
+			case *ast.CallExpr:
+				// min(n, bound) cleanses too.
+				if analysis.BuiltinName(info, n) == "min" {
+					for _, arg := range n.Args {
+						if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+							if obj := info.Uses[id]; obj != nil && tainted[obj] && !sanitized[obj] {
+								sanitized[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Report makes whose length or capacity operand is still tainted.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || analysis.BuiltinName(info, call) != "make" {
+			return true
+		}
+		for _, sizeArg := range call.Args[1:] {
+			if exprTainted(sizeArg) {
+				pass.Reportf(sizeArg.Pos(), "make size in %s derives from a wire-read value with no bound check", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,12 @@
+package wiresize_test
+
+import (
+	"testing"
+
+	"ciphermatch/internal/analysis/atest"
+	"ciphermatch/internal/analysis/wiresize"
+)
+
+func TestWiresize(t *testing.T) {
+	atest.Run(t, "testdata/wiresize", wiresize.Analyzer)
+}

@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+// TestSearchChunkRangeZeroAllocs pins the steady-state allocation
+// profile of the serial search loop: with the factored query built and
+// the bitset words bound, streaming every chunk through the fused
+// kernel allocates nothing. This is the runtime complement of the
+// //cm:hotpath annotation on searchChunkRange — the static check
+// forbids allocation sites, this catches allocations hiding in callees.
+func TestSearchChunkRangeZeroAllocs(t *testing.T) {
+	cfg, edb, q, serial := engineFixture(t)
+	defer serial.Release()
+	r := cfg.Params.Ring()
+	fq, err := FactorQuery(r, q, len(edb.Chunks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([][]uint64, len(q.Residues))
+	bms := make([]*Bitset, len(q.Residues))
+	numWindows := len(edb.Chunks) * cfg.Params.N
+	for vi := range words {
+		bms[vi] = NewBitset(numWindows)
+		words[vi] = bms[vi].Words()
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := searchChunkRange(r, edb, q, fq, 0, len(edb.Chunks), words); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("searchChunkRange allocates %.1f times per search, want 0", avg)
+	}
+	for _, bm := range bms {
+		bm.Release()
+	}
+}

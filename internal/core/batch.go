@@ -176,6 +176,8 @@ type BatchSearcher interface {
 // SearchBatch dispatches bq to e's native batch implementation when it
 // has one, and otherwise runs the members sequentially. Either way the
 // results equal per-member SearchAndIndex calls in member order.
+//
+//cm:pooled
 func SearchBatch(e Engine, bq *BatchQuery) ([]*IndexResult, error) {
 	if bs, ok := e.(BatchSearcher); ok {
 		return bs.SearchAndIndexBatch(bq)
@@ -187,6 +189,8 @@ func SearchBatch(e Engine, bq *BatchQuery) ([]*IndexResult, error) {
 // SearchAndIndex call per member. Engines without a batched pass (the
 // in-flash simulator, whose controller serialises commands) use it to
 // satisfy BatchSearcher.
+//
+//cm:pooled
 func SearchAndIndexBatchSequential(e Engine, bq *BatchQuery) ([]*IndexResult, error) {
 	out := make([]*IndexResult, len(bq.Queries))
 	for i, q := range bq.Queries {
@@ -287,11 +291,11 @@ func factorBatch(r *ring.Ring, bq *BatchQuery, numChunks int) ([]*FactoredQuery,
 type batchScratch struct {
 	pairClass []int // class index per (member, variant) pair, in order
 
-	classDb    []*uint64    // chunk-comparand identity per class
-	classRhs   []ring.Poly  // RHS comparand per class
-	classWords [][]uint64   // first pair's bitset words per class
-	classFirst []int        // pair index of the class's first pair
-	classOwner []int        // member the class's evaluation is accounted to
+	classDb    []*uint64   // chunk-comparand identity per class
+	classRhs   []ring.Poly // RHS comparand per class
+	classWords [][]uint64  // first pair's bitset words per class
+	classFirst []int       // pair index of the class's first pair
+	classOwner []int       // member the class's evaluation is accounted to
 
 	groupDb  []*uint64   // distinct chunk-comparand identities
 	groupTok []ring.Poly // the comparand polynomial per group

@@ -28,6 +28,8 @@ var bitsetPool = sync.Pool{New: func() any { return &Bitset{} }}
 
 // NewBitset returns a zeroed bitset of n bits, reusing pooled storage
 // when some earlier bitset of sufficient capacity has been Released.
+//
+//cm:pooled
 func NewBitset(n int) *Bitset {
 	b := bitsetPool.Get().(*Bitset)
 	nw := (n + 63) / 64

@@ -327,6 +327,8 @@ func (q *Query) SizeBytes(p bfv.Params) int64 {
 // ChunkPhi returns phi = (16·n·j) mod y, the chunk-only part of the
 // pattern phase: PatternPhase(n, j, s, y) == (ChunkPhi(n, j, y) - s) mod y.
 // The factored kernels key their per-chunk RHS rows on phi.
+//
+//cm:hotpath
 func ChunkPhi(n, j, y int) int {
 	return (SegmentBits * n * j) % y
 }

@@ -23,7 +23,11 @@ import (
 type Engine interface {
 	// SearchAndIndex executes Algorithm 1 line 10 plus index generation
 	// and returns the per-variant hit bitmaps and candidate offsets. The
-	// query must carry match tokens (ModeSeededMatch).
+	// query must carry match tokens (ModeSeededMatch). The result's
+	// bitmaps are pool-backed: callers own them and must Release (or
+	// hand off) the IndexResult on every path.
+	//
+	//cm:pooled
 	SearchAndIndex(q *Query) (*IndexResult, error)
 	// Stats returns the cumulative operation counts of every search this
 	// engine has executed.
@@ -150,20 +154,24 @@ func validateSearchQuery(db *EncryptedDB, q *Query, needTokens bool) error {
 // polynomials are the only other operands, and the only writes are hit
 // bits in the packed bitsets. With a compacted database the reads are
 // one sequential walk of the C0 arena plane.
-func searchChunkRange(r *ring.Ring, db *EncryptedDB, q *Query, fq *FactoredQuery, lo, hi int, bms []*Bitset) (Stats, error) {
+//
+// words holds the raw backing words of the per-variant bitsets
+// (bitsetWords), built once per search by the caller: the kernel itself
+// is allocation-free, so a pool worker re-entering it per chunk-range
+// job pays nothing.
+//
+//cm:hotpath
+func searchChunkRange(r *ring.Ring, db *EncryptedDB, q *Query, fq *FactoredQuery, lo, hi int, words [][]uint64) (Stats, error) {
 	var st Stats
-	if len(bms) == 0 {
+	if len(words) == 0 {
 		return st, nil
 	}
 	n := r.N()
 	y := q.YBits
-	words := make([][]uint64, len(bms))
-	for vi, bm := range bms {
-		words[vi] = bm.Words()
-	}
 	for j := lo; j < hi; j++ {
 		row := fq.Row(ChunkPhi(n, j, y))
 		if row == nil {
+			//cm:allow hotpath -- cold error exit: a malformed query aborts the search, never taken per-chunk in steady state
 			return st, fmt.Errorf("core: factored query has no RHS row for chunk %d", j)
 		}
 		r.SubCmpMultiBits(db.Chunks[j].C[0], fq.DBTok[j], row, words, j*n)
@@ -228,6 +236,8 @@ func NewSerialEngine(params bfv.Params, db *EncryptedDB) *SerialEngine {
 
 // SearchAndIndex implements Engine: one residue-fused pass over every
 // chunk, all shift variants evaluated per chunk stream.
+//
+//cm:pooled
 func (e *SerialEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	if err := validateSearchQuery(e.db, q, true); err != nil {
 		return nil, err
@@ -239,13 +249,15 @@ func (e *SerialEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	n := e.params.N
 	numWindows := len(e.db.Chunks) * n
 	ir := &IndexResult{Hits: make(HitBitmaps, len(q.Residues))}
-	bms := make([]*Bitset, len(q.Residues))
+	words := make([][]uint64, len(q.Residues))
 	for vi, res := range q.Residues {
-		bms[vi] = NewBitset(numWindows)
-		ir.Hits[res] = bms[vi]
+		bm := NewBitset(numWindows)
+		ir.Hits[res] = bm
+		words[vi] = bm.Words()
 	}
-	st, err := searchChunkRange(e.ring, e.db, q, fq, 0, len(e.db.Chunks), bms)
+	st, err := searchChunkRange(e.ring, e.db, q, fq, 0, len(e.db.Chunks), words)
 	if err != nil {
+		ir.Release() // return the pooled bitsets on the error path
 		return nil, err
 	}
 	ir.Stats.add(st)
@@ -259,6 +271,8 @@ func (e *SerialEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 // SearchAndIndexBatch implements BatchSearcher: one pass over the
 // database evaluating every member per chunk (searchChunkRangeBatch),
 // instead of one pass per member.
+//
+//cm:pooled
 func (e *SerialEngine) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, error) {
 	if err := bq.validate(e.db); err != nil {
 		return nil, err

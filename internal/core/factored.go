@@ -32,7 +32,12 @@ type FactoredQuery struct {
 
 // Row returns the per-residue-index RHS polynomials for chunks of phase
 // phi (nil when no chunk in range has that phase).
-func (fq *FactoredQuery) Row(phi int) []ring.Poly { return fq.rows[phi] }
+//
+//cm:hotpath
+func (fq *FactoredQuery) Row(phi int) []ring.Poly {
+	//cm:allow hotpath -- phase-keyed map lookup: once per chunk, amortised over the n-coefficient stream
+	return fq.rows[phi]
+}
 
 func errMissingRHS(psi int) error {
 	return fmt.Errorf("core: query missing RHS for phase %d", psi)

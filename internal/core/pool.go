@@ -43,7 +43,8 @@ type poolCall struct {
 	q       *Query
 	fq      *FactoredQuery
 	db      *EncryptedDB
-	bitmaps []*Bitset // per variant index, global window indexing
+	bitmaps []*Bitset  // per variant index, global window indexing
+	words   [][]uint64 // bitmaps' backing words, built once per search
 	pending sync.WaitGroup
 
 	mu       sync.Mutex
@@ -119,7 +120,7 @@ func (e *PoolEngine) worker() {
 			continue
 		}
 		c := b.call
-		st, err := searchChunkRange(r, c.db, c.q, c.fq, b.lo, b.hi, c.bitmaps)
+		st, err := searchChunkRange(r, c.db, c.q, c.fq, b.lo, b.hi, c.words)
 		c.mu.Lock()
 		if err != nil && c.firstErr == nil {
 			c.firstErr = err
@@ -155,6 +156,8 @@ func (e *PoolEngine) batchSize(numChunks int) int {
 // SearchAndIndex implements Engine. Jobs split on chunk ranges only —
 // the residue-fused kernel evaluates every variant per chunk stream —
 // so the queue sees numChunks/batch jobs, not residues× that.
+//
+//cm:pooled
 func (e *PoolEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	if err := validateSearchQuery(e.db, q, true); err != nil {
 		return nil, err
@@ -165,9 +168,16 @@ func (e *PoolEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	}
 	numChunks := len(e.db.Chunks)
 	numWindows := numChunks * e.params.N
-	c := &poolCall{q: q, fq: fq, db: e.db, bitmaps: make([]*Bitset, len(q.Residues))}
+	c := &poolCall{
+		q:       q,
+		fq:      fq,
+		db:      e.db,
+		bitmaps: make([]*Bitset, len(q.Residues)),
+		words:   make([][]uint64, len(q.Residues)),
+	}
 	for vi := range c.bitmaps {
 		c.bitmaps[vi] = NewBitset(numWindows)
+		c.words[vi] = c.bitmaps[vi].Words()
 	}
 	batch := e.batchSize(numChunks)
 	// Enqueue under the read half of closeMu: Close excludes itself with
@@ -189,6 +199,9 @@ func (e *PoolEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	e.closeMu.RUnlock()
 	c.pending.Wait()
 	if c.firstErr != nil {
+		for _, bm := range c.bitmaps {
+			bm.Release() // return the pooled bitsets on the error path
+		}
 		return nil, c.firstErr
 	}
 
@@ -207,6 +220,8 @@ func (e *PoolEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 // each evaluate every member over their range, so workers amortise one
 // chunk walk across the whole batch while the ranges still spread over
 // the pool.
+//
+//cm:pooled
 func (e *PoolEngine) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, error) {
 	if err := bq.validate(e.db); err != nil {
 		return nil, err

@@ -133,6 +133,8 @@ func (ir *IndexResult) Release() {
 // against the query's match tokens ("encrypted match polynomial", §4.2.2).
 // Only the hit pattern leaves the server, not the result ciphertexts. The
 // work executes on the server's engine.
+//
+//cm:pooled
 func (s *Server) SearchAndIndex(q *Query) (*IndexResult, error) {
 	return s.engine.SearchAndIndex(q)
 }
@@ -140,6 +142,8 @@ func (s *Server) SearchAndIndex(q *Query) (*IndexResult, error) {
 // SearchAndIndexBatch runs every member of bq through the server's
 // engine in one batched pass where the engine supports it (sequentially
 // otherwise), returning one IndexResult per member in member order.
+//
+//cm:pooled
 func (s *Server) SearchAndIndexBatch(bq *BatchQuery) ([]*IndexResult, error) {
 	return SearchBatch(s.engine, bq)
 }

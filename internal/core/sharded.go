@@ -139,6 +139,8 @@ func shardQuery(q *Query, n int, sh *engineShard) *Query {
 
 // SearchAndIndex implements Engine: it fans the query out to every
 // shard concurrently and merges the hit bitmaps at global offsets.
+//
+//cm:pooled
 func (e *ShardedEngine) SearchAndIndex(q *Query) (*IndexResult, error) {
 	if err := validateSearchQuery(e.db, q, true); err != nil {
 		return nil, err

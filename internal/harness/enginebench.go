@@ -130,6 +130,9 @@ func RunEngineBench(specs []string) (*EngineBenchReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s warmup: %w", specStr, err)
 		}
+		// Stats survives Release (plain value field); the bitsets go
+		// back to the pool before the timed loop churns it.
+		warm.Release()
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

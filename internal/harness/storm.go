@@ -291,6 +291,7 @@ func NewStormTenant(p bfv.Params, name, seed string, dbBytes int) (*core.Encrypt
 		}
 		tgt.Queries = append(tgt.Queries, query)
 		tgt.Expect = append(tgt.Expect, ir.Candidates)
+		ir.Release()
 	}
 	return db, tgt, nil
 }

@@ -420,6 +420,8 @@ func (st *Store) withEngine(name string, fn func(d *hostedDB, eng core.Engine) e
 
 // Search runs one query against the named database under its read
 // lock, reloading it from disk first if it was evicted.
+//
+//cm:pooled
 func (st *Store) Search(name string, q *core.Query) (*core.IndexResult, error) {
 	var ir *core.IndexResult
 	err := st.withEngine(name, func(d *hostedDB, eng core.Engine) error {
@@ -434,6 +436,8 @@ func (st *Store) Search(name string, q *core.Query) (*core.IndexResult, error) {
 // SearchBatch runs a batch of queries against the named database under
 // its read lock, through the engine's batched pass where it has one.
 // Each member counts as one search in the listing stats.
+//
+//cm:pooled
 func (st *Store) SearchBatch(name string, bq *core.BatchQuery) ([]*core.IndexResult, error) {
 	var irs []*core.IndexResult
 	err := st.withEngine(name, func(d *hostedDB, eng core.Engine) error {

@@ -277,11 +277,19 @@ func DecodeDB(data []byte, p bfv.Params) (*core.EncryptedDB, error) {
 	if err != nil {
 		return nil, err
 	}
-	n, err := b.count(8) // a ciphertext encodes at least two length words
+	qb := p.QBytes()
+	// NewCompactDB allocates the full 2·n·N·qb arena up front, so the
+	// chunk count must be bounded by what the payload can actually
+	// carry: each chunk encodes a component-count word plus two
+	// components of a 4-byte length and N·qb coefficient bytes. The old
+	// bound of 8 bytes/chunk let a short hostile payload demand a
+	// multi-terabyte arena (count×N amplification); found while
+	// annotating the decoders for cmvet's wiresize analyzer.
+	minChunkBytes := 4 + 2*(4+p.N*qb)
+	n, err := b.count(minChunkBytes)
 	if err != nil {
 		return nil, err
 	}
-	qb := p.QBytes()
 	db := core.NewCompactDB(p.N, n)
 	db.BitLen = bitLen
 	db.NumSegments = numSegments

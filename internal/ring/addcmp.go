@@ -12,100 +12,141 @@ package ring
 // bits, packed 64 windows per word. Words with no hits are never
 // written, so a miss-dominated search (the common case) is a pure read
 // stream over the ciphertext arena.
+//
+// Like subcmp.go, the coefficient loops are branchless by policy
+// (cmvet's ctbranch analyzer): modular reduction and equality are mask
+// arithmetic, and an unaligned base now gets a scalar prologue up to
+// the word boundary instead of demoting the whole poly to the scalar
+// path.
 
 // bitsetWord returns the word index and in-word bit mask of bit i.
+//
+//cm:hotpath
 func bitsetWord(i int) (int, uint64) {
 	return i >> 6, 1 << (uint(i) & 63)
+}
+
+// eqMaskBit returns 1 when x == y and 0 otherwise, without branching:
+// z|-z has its top bit set iff z != 0.
+//
+//cm:hotpath
+func eqMaskBit(x, y uint64) uint64 {
+	z := x ^ y
+	return ((z | -z) >> 63) ^ 1
 }
 
 // AddCmpBits sets bit base+i of bits for every coefficient i with
 // (a[i] + b[i]) mod q == tok[i]. Bits are only ever set, never cleared,
 // so repeated calls over disjoint base ranges accumulate into one
 // packed bitset. No intermediate sum is stored.
+//
+//cm:hotpath
 func (r *Ring) AddCmpBits(a, b, tok Poly, bits []uint64, base int) {
 	n := len(a)
 	i := 0
+	// Scalar prologue to the next word boundary, so any base gets the
+	// word-at-a-time body (the pre-refactor kernel fell back to a full
+	// scalar pass whenever base&63 != 0).
+	if rem := base & 63; rem != 0 {
+		pro := 64 - rem
+		if pro > n {
+			pro = n
+		}
+		r.addCmpScalar(a, b, tok, bits, base, 0, pro)
+		i = pro
+	}
 	if r.qIsPow2 {
 		mask := r.mask
-		if base&63 == 0 {
-			// Word-at-a-time: 64 fused add-compares accumulate into one
-			// register, stored only when at least one window hit.
-			for ; i+64 <= n; i += 64 {
-				aa, bb, tt := a[i:i+64], b[i:i+64], tok[i:i+64]
-				var w uint64
-				for k := range aa {
-					if (aa[k]+bb[k])&mask == tt[k] {
-						w |= 1 << uint(k)
-					}
-				}
-				if w != 0 {
-					bits[(base+i)>>6] |= w
-				}
+		// Word-at-a-time: 64 fused add-compares accumulate into one
+		// register, stored only when at least one window hit.
+		for ; i+64 <= n; i += 64 {
+			aa, bb, tt := a[i:i+64], b[i:i+64], tok[i:i+64]
+			var w uint64
+			for k := range aa {
+				w |= eqMaskBit((aa[k]+bb[k])&mask, tt[k]) << uint(k)
+			}
+			//cm:allow ctbranch -- aggregated hit-word store elision keeps misses a pure read stream
+			if w != 0 {
+				bits[(base+i)>>6] |= w
 			}
 		}
-		for ; i < n; i++ {
-			if (a[i]+b[i])&mask == tok[i] {
-				wi, m := bitsetWord(base + i)
-				bits[wi] |= m
-			}
-		}
-		return
-	}
-	q := r.q
-	if base&63 == 0 {
+	} else {
+		q := r.q
 		for ; i+64 <= n; i += 64 {
 			aa, bb, tt := a[i:i+64], b[i:i+64], tok[i:i+64]
 			var w uint64
 			for k := range aa {
 				s := aa[k] + bb[k] // q < 2^57, no overflow
-				if s >= q {
-					s -= q
-				}
-				if s == tt[k] {
-					w |= 1 << uint(k)
-				}
+				s -= q & (((s - q) >> 63) - 1)
+				w |= eqMaskBit(s, tt[k]) << uint(k)
 			}
+			//cm:allow ctbranch -- aggregated hit-word store elision keeps misses a pure read stream
 			if w != 0 {
 				bits[(base+i)>>6] |= w
 			}
 		}
 	}
-	for ; i < n; i++ {
-		s := a[i] + b[i]
-		if s >= q {
-			s -= q
+	// Scalar epilogue: the sub-word tail.
+	r.addCmpScalar(a, b, tok, bits, base, i, n)
+}
+
+// addCmpScalar is the coefficient-at-a-time edge path of AddCmpBits
+// over [lo, hi), shared by the unaligned prologue and the tail
+// epilogue. The hit mask is OR-stored unconditionally (OR of zero is a
+// no-op) so the ragged edges stay branchless too.
+//
+//cm:hotpath
+func (r *Ring) addCmpScalar(a, b, tok Poly, bits []uint64, base, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s uint64
+		if r.qIsPow2 {
+			s = (a[i] + b[i]) & r.mask
+		} else {
+			s = a[i] + b[i]
+			s -= r.q & (((s - r.q) >> 63) - 1)
 		}
-		if s == tok[i] {
-			wi, m := bitsetWord(base + i)
-			bits[wi] |= m
-		}
+		wi, m := bitsetWord(base + i)
+		bits[wi] |= m & -eqMaskBit(s, tok[i])
 	}
 }
 
 // CmpEqScalarBits sets bit base+i of bits for every i with a[i] == v —
 // the client-decrypt index generation, where every window compares
 // against the single match value t-1.
+//
+//cm:hotpath
 func CmpEqScalarBits(a Poly, v uint64, bits []uint64, base int) {
 	n := len(a)
 	i := 0
-	if base&63 == 0 {
-		for ; i+64 <= n; i += 64 {
-			aa := a[i : i+64]
-			var w uint64
-			for k := range aa {
-				if aa[k] == v {
-					w |= 1 << uint(k)
-				}
-			}
-			if w != 0 {
-				bits[(base+i)>>6] |= w
-			}
+	if rem := base & 63; rem != 0 {
+		pro := 64 - rem
+		if pro > n {
+			pro = n
+		}
+		cmpEqScalarEdge(a, v, bits, base, 0, pro)
+		i = pro
+	}
+	for ; i+64 <= n; i += 64 {
+		aa := a[i : i+64]
+		var w uint64
+		for k := range aa {
+			w |= eqMaskBit(aa[k], v) << uint(k)
+		}
+		//cm:allow ctbranch -- aggregated hit-word store elision keeps misses a pure read stream
+		if w != 0 {
+			bits[(base+i)>>6] |= w
 		}
 	}
-	for ; i < n; i++ {
-		if a[i] == v {
-			wi, m := bitsetWord(base + i)
-			bits[wi] |= m
-		}
+	cmpEqScalarEdge(a, v, bits, base, i, n)
+}
+
+// cmpEqScalarEdge is CmpEqScalarBits' coefficient-at-a-time edge path
+// over [lo, hi).
+//
+//cm:hotpath
+func cmpEqScalarEdge(a Poly, v uint64, bits []uint64, base, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		wi, m := bitsetWord(base + i)
+		bits[wi] |= m & -eqMaskBit(a[i], v)
 	}
 }

@@ -91,6 +91,8 @@ func MustNew(n int, q uint64) *Ring {
 }
 
 // N returns the ring degree.
+//
+//cm:hotpath
 func (r *Ring) N() int { return r.n }
 
 // Q returns the coefficient modulus.

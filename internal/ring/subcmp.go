@@ -12,6 +12,14 @@ package ring
 // at once, with the R per-phase RHS polys staying cache-resident. The
 // legacy pipeline re-read the ciphertext arena once per residue; this
 // kernel is why a search now reads it once (see core's engine kernels).
+//
+// The coefficient loops are branchless by policy (enforced by cmvet's
+// ctbranch analyzer): the modular reduction and the equality test are
+// computed with masks, never with data-dependent branches, so the
+// kernel's timing and store pattern depend only on public shape — with
+// one deliberate exception, the aggregated hit-word store elision,
+// which reveals only word-granular "some window hit" and is what keeps
+// a miss-dominated search a pure read stream.
 
 // SubCmpMultiBits sets bit base+i of bits[v] for every comparand v and
 // coefficient i with (a[i] - d[i]) mod q == rhs[v][i]. Bits are only
@@ -23,6 +31,8 @@ package ring
 //
 // rhs and bits must have equal length; every rhs[v] must have len(a)
 // coefficients and every bits[v] must cover bits [base, base+len(a)).
+//
+//cm:hotpath
 func (r *Ring) SubCmpMultiBits(a, d Poly, rhs []Poly, bits [][]uint64, base int) {
 	n := len(a)
 	i := 0
@@ -52,9 +62,10 @@ func (r *Ring) SubCmpMultiBits(a, d Poly, rhs []Poly, bits [][]uint64, base int)
 			q := r.q
 			for k := range aa {
 				t := aa[k] + q - dd[k] // d < q, no underflow
-				if t >= q {
-					t -= q
-				}
+				// Branchless conditional reduction: subtract q iff
+				// t >= q (then t-q has a clear sign bit and the mask
+				// is all-ones).
+				t -= q & (((t - q) >> 63) - 1)
 				diff[k] = t
 			}
 		}
@@ -63,10 +74,13 @@ func (r *Ring) SubCmpMultiBits(a, d Poly, rhs []Poly, bits [][]uint64, base int)
 			tt := rp[i : i+64]
 			var w uint64
 			for k := range tt {
-				if diff[k] == tt[k] {
-					w |= 1 << uint(k)
-				}
+				// Branchless equality: z|-z has its top bit set iff
+				// z != 0, so eq is 1 exactly when diff[k] == tt[k].
+				z := diff[k] ^ tt[k]
+				eq := ((z | -z) >> 63) ^ 1
+				w |= eq << uint(k)
 			}
+			//cm:allow ctbranch -- aggregated hit-word store elision: reveals only word-granular occupancy, and is the kernel's read-stream guarantee
 			if w != 0 {
 				bits[v][wi] |= w
 			}
@@ -78,7 +92,12 @@ func (r *Ring) SubCmpMultiBits(a, d Poly, rhs []Poly, bits [][]uint64, base int)
 
 // subCmpScalar is the coefficient-at-a-time fallback of SubCmpMultiBits
 // over coefficients [lo, hi), shared by the unaligned prologue and the
-// tail epilogue.
+// tail epilogue. It keeps the same branchless discipline: the hit mask
+// is computed arithmetically and OR-stored unconditionally (an OR of
+// zero is a no-op), so even the ragged edges have data-independent
+// timing.
+//
+//cm:hotpath
 func (r *Ring) subCmpScalar(a, d Poly, rhs []Poly, bits [][]uint64, base, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		var t uint64
@@ -86,15 +105,13 @@ func (r *Ring) subCmpScalar(a, d Poly, rhs []Poly, bits [][]uint64, base, lo, hi
 			t = (a[i] - d[i]) & r.mask
 		} else {
 			t = a[i] + r.q - d[i]
-			if t >= r.q {
-				t -= r.q
-			}
+			t -= r.q & (((t - r.q) >> 63) - 1)
 		}
+		wi, m := bitsetWord(base + i)
 		for v, rp := range rhs {
-			if t == rp[i] {
-				wi, m := bitsetWord(base + i)
-				bits[v][wi] |= m
-			}
+			z := t ^ rp[i]
+			eq := ((z | -z) >> 63) ^ 1
+			bits[v][wi] |= m & -eq
 		}
 	}
 }

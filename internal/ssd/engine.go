@@ -52,6 +52,8 @@ func (e *Engine) Drive() *SSD {
 }
 
 // SearchAndIndex implements core.Engine by dispatching CM-search.
+//
+//cm:pooled
 func (e *Engine) SearchAndIndex(q *core.Query) (*core.IndexResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -71,6 +73,8 @@ func (e *Engine) SearchAndIndex(q *core.Query) (*core.IndexResult, error) {
 // members serialise on the controller exactly as separate searches
 // would. Batch-level parallelism across drives comes from sharding
 // (one drive per shard under core.ShardedEngine).
+//
+//cm:pooled
 func (e *Engine) SearchAndIndexBatch(bq *core.BatchQuery) ([]*core.IndexResult, error) {
 	return core.SearchAndIndexBatchSequential(e, bq)
 }
