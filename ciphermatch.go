@@ -30,7 +30,7 @@
 //
 // The implementation is a research artifact: the cryptography is not
 // constant-time and the paper's parameter set trades security margin for
-// evaluation speed (see DESIGN.md §10). Do not protect real data with it.
+// evaluation speed (see DESIGN.md §11). Do not protect real data with it.
 package ciphermatch
 
 import (

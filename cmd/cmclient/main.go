@@ -48,6 +48,9 @@ func main() {
 	drop := flag.String("drop", "", "drop the named server-side database and exit")
 	noupload := flag.Bool("noupload", false,
 		"search the existing server-side database without re-uploading (durable servers recover uploads across restarts; requires the original -seed and -db file)")
+	retries := flag.Int("retries", 0,
+		"retry read-only requests up to N times with exponential backoff on overload or transient transport faults (uploads and drops are never retried)")
+	retryTimeout := flag.Duration("retry-timeout", 0, "per-attempt I/O deadline when -retries is set (0 = none)")
 	flag.Parse()
 
 	cfg := ciphermatch.Config{
@@ -60,6 +63,9 @@ func main() {
 		fatal(err)
 	}
 	defer conn.Close()
+	if *retries > 0 {
+		conn.SetRetry(proto.RetryPolicy{Max: *retries, Timeout: *retryTimeout, Seed: *seed})
+	}
 
 	switch {
 	case *list:

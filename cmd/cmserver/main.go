@@ -21,12 +21,23 @@
 // passes saved — are always available over the wire (cmclient stats)
 // and, with -metrics-addr, over HTTP in Prometheus text format.
 //
+// The server is hardened for faulty environments: -read-timeout and
+// -write-timeout bound slow-loris peers per connection, -scrub runs a
+// background scrubber re-verifying resident segment CRCs and
+// quarantining corrupted databases instead of serving wrong answers,
+// and SIGTERM/SIGINT drain every in-flight request — including queries
+// parked in coalescing windows — before closing the store. -fault arms
+// the deterministic fault injector (internal/fault) under the store and
+// the listener for chaos runs; never use it in production.
+//
 // Usage:
 //
 //	cmserver -addr :7448 -engine pool -workers 8
 //	cmserver -engine ssd/shards=4
 //	cmserver -datadir /var/lib/ciphermatch -membudget 4GiB
 //	cmserver -batchwindow 200us -maxbatch 16 -maxqueue 256 -metrics-addr :9448
+//	cmserver -datadir /var/lib/ciphermatch -scrub 1m -read-timeout 30s -write-timeout 30s
+//	cmserver -fault 'seed=c1,drop=97,stalldur=20ms'   # chaos testing only
 package main
 
 import (
@@ -42,7 +53,9 @@ import (
 
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/engine"
+	"ciphermatch/internal/fault"
 	"ciphermatch/internal/proto"
+	"ciphermatch/internal/segment"
 )
 
 func main() {
@@ -58,6 +71,10 @@ func main() {
 	maxbatch := flag.Int("maxbatch", 0, "coalesced batch fires at this many pending queries (0 = default 16)")
 	maxqueue := flag.Int("maxqueue", 0, "per-database pending-query cap before overload rejection (0 = 16x maxbatch)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-format metrics over HTTP at this address (empty = off)")
+	scrub := flag.Duration("scrub", 0, "background segment-scrub interval re-verifying resident plane CRCs, e.g. 1m (requires -datadir; 0 = off)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-connection read deadline between requests (0 = none)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-connection reply write deadline (0 = none)")
+	faultSpec := flag.String("fault", "", "deterministic fault injection for chaos runs, e.g. 'seed=c1,drop=97,bitflip=1000' (see internal/fault)")
 	flag.Parse()
 
 	spec, err := engine.Parse(*engineSpec)
@@ -76,13 +93,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cmserver: -membudget:", err)
 		os.Exit(2)
 	}
+	faultCfg, err := fault.ParseConfig(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmserver: -fault:", err)
+		os.Exit(2)
+	}
+	var inj *fault.Injector
+	storeOpts := proto.StoreOptions{DataDir: *datadir, MemBudget: budget, ScrubInterval: *scrub}
+	if *faultSpec != "" {
+		inj = fault.New(faultCfg)
+		storeOpts.FS = inj.FS(segment.OSFS{})
+		fmt.Fprintf(os.Stderr, "cmserver: FAULT INJECTION ARMED (%s) — chaos runs only\n", *faultSpec)
+	}
 
-	srv, err := proto.NewServerWithServing(bfv.ParamsPaper(), spec,
-		proto.StoreOptions{DataDir: *datadir, MemBudget: budget},
+	srv, err := proto.NewServerWithServing(bfv.ParamsPaper(), spec, storeOpts,
 		proto.CoalesceConfig{Window: *batchwindow, MaxBatch: *maxbatch, MaxQueue: *maxqueue})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cmserver:", err)
 		os.Exit(1)
+	}
+	srv.SetTimeouts(*readTimeout, *writeTimeout)
+	if inj != nil {
+		inj.Bind(srv.Metrics()) // fault_*_total next to the absorption counters
 	}
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
@@ -111,16 +143,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cmserver:", err)
 		os.Exit(1)
 	}
+	var serveL net.Listener = l
+	if inj != nil {
+		serveL = inj.Listener(l)
+	}
 
-	// Graceful shutdown: stop accepting, drain in-flight searches,
-	// unmap segments. Segment files and the manifest are fsynced at
-	// upload time, so shutdown has nothing left to make durable.
+	// Graceful shutdown: stop accepting, then drain — every request
+	// already read off a connection (including queries parked in
+	// coalescing windows) runs to completion and has its reply written
+	// before the store closes. Segment files and the manifest are
+	// fsynced at upload time, so shutdown has nothing left to make
+	// durable.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	shuttingDown := make(chan struct{})
 	go func() {
 		sig := <-sigCh
-		fmt.Printf("cmserver: %s: flushing store and shutting down\n", sig)
+		fmt.Printf("cmserver: %s: draining in-flight requests and shutting down\n", sig)
 		close(shuttingDown)
 		l.Close()
 	}()
@@ -131,8 +170,8 @@ func main() {
 	}
 	fmt.Printf("cmserver: listening on %s (BFV n=%d, log2 q=32, log2 t=16, default engine %s, coalescing %s)\n",
 		l.Addr(), bfv.ParamsPaper().N, spec, coalesceNote)
-	serveErr := srv.Serve(l)
-	if err := srv.Close(); err != nil {
+	serveErr := srv.Serve(serveL)
+	if err := srv.Shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, "cmserver: closing store:", err)
 		os.Exit(1)
 	}

@@ -16,6 +16,7 @@
 //	cmstorm -addr localhost:7448 -conns 16 -duration 5s
 //	cmstorm -addr localhost:7448 -tenants 4 -qps 200 -json -
 //	cmstorm -addr localhost:7448 -require-coalesce   # CI: exit 1 unless coalescing engaged cleanly
+//	cmstorm -addr localhost:7448 -retries 6 -require-robust   # CI chaos gate against a -fault server
 package main
 
 import (
@@ -42,6 +43,12 @@ func main() {
 	jsonOut := flag.String("json", "", "write the machine-readable report to this file ('-' = stdout)")
 	requireCoalesce := flag.Bool("require-coalesce", false,
 		"exit nonzero unless the run coalesced (coalesce rate > 0) with zero errors and zero wrong results")
+	retries := flag.Int("retries", 0, "per-connection retry budget for read-only requests (0 = retries off)")
+	retryBase := flag.Duration("retry-base", 5*time.Millisecond, "first backoff step when -retries is set")
+	retryMax := flag.Duration("retry-max", 250*time.Millisecond, "backoff cap when -retries is set")
+	retryTimeout := flag.Duration("retry-timeout", 0, "per-attempt I/O deadline when -retries is set (0 = none)")
+	requireRobust := flag.Bool("require-robust", false,
+		"exit nonzero unless the run finished with zero wrong results and zero untyped client errors — the chaos-smoke gate for fault-injected servers")
 	flag.Parse()
 	if *tenants < 1 || *conns < 1 {
 		fmt.Fprintln(os.Stderr, "cmstorm: -tenants and -conns must be >= 1")
@@ -57,17 +64,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cmstorm: building tenant:", err)
 			os.Exit(1)
 		}
-		conn, err := proto.Dial(*addr, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cmstorm: dial:", err)
-			os.Exit(1)
-		}
-		if err := conn.UploadDB(name, core.EngineSpec{}, db); err != nil {
-			conn.Close()
+		// The protocol layer never auto-retries mutating requests, but a
+		// same-name re-upload of identical ciphertexts is idempotent, so
+		// against a fault-injected server the generator replays the whole
+		// upload (fresh dial each attempt — a drop poisons the stream).
+		if err := uploadWithRetry(*addr, p, name, db, *retries); err != nil {
 			fmt.Fprintln(os.Stderr, "cmstorm: upload:", err)
 			os.Exit(1)
 		}
-		conn.Close()
 		targets = append(targets, *tgt)
 		fmt.Fprintf(os.Stderr, "cmstorm: uploaded %s (%d bytes, %d queries)\n", name, *dbBytes, len(tgt.Queries))
 	}
@@ -79,6 +83,10 @@ func main() {
 		Conns:      *conns,
 		PerConnQPS: *qps,
 		Duration:   *duration,
+		Retry: proto.RetryPolicy{
+			Max: *retries, BaseDelay: *retryBase, MaxDelay: *retryMax,
+			Timeout: *retryTimeout, Seed: *seed,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cmstorm:", err)
@@ -89,7 +97,9 @@ func main() {
 		rep.Conns, rep.DurationSec, len(targets), rep.Queries, rep.QPS)
 	fmt.Printf("  latency ms: mean %.2f p50 %.2f p95 %.2f p99 %.2f max %.2f\n",
 		rep.LatMeanMs, rep.LatP50Ms, rep.LatP95Ms, rep.LatP99Ms, rep.LatMaxMs)
-	fmt.Printf("  errors %d, rejected %d, wrong results %d\n", rep.Errors, rep.Rejected, rep.WrongResults)
+	fmt.Printf("  errors %d, rejected %d, server faults %d, wrong results %d\n",
+		rep.Errors, rep.Rejected, rep.ServerFaults, rep.WrongResults)
+	fmt.Printf("  recovery: %d retries, %d reconnects\n", rep.Retries, rep.Reconnects)
 	fmt.Printf("  server: %d queries in %d batches, coalesce rate %.2f, occupancy %.2f\n",
 		rep.ServerQueries, rep.Batches, rep.CoalesceRate, rep.BatchOccupancyMean)
 	fmt.Printf("  arena: %.1f chunk streams/query vs %d unbatched, %d streams saved\n",
@@ -129,4 +139,40 @@ func main() {
 		}
 		fmt.Println("cmstorm: PASS: coalescing engaged, zero dropped results")
 	}
+	if *requireRobust {
+		switch {
+		case rep.WrongResults > 0:
+			fmt.Fprintf(os.Stderr, "cmstorm: FAIL: %d wrong results — faults corrupted answers\n", rep.WrongResults)
+			os.Exit(1)
+		case rep.Errors > 0:
+			fmt.Fprintf(os.Stderr, "cmstorm: FAIL: %d untyped client errors — faults escaped the typed-error/retry contract\n", rep.Errors)
+			os.Exit(1)
+		case rep.Queries == 0:
+			fmt.Fprintln(os.Stderr, "cmstorm: FAIL: no queries completed")
+			os.Exit(1)
+		}
+		fmt.Printf("cmstorm: PASS: robust (%d queries, %d retries, %d reconnects, %d typed faults, 0 wrong results)\n",
+			rep.Queries, rep.Retries, rep.Reconnects, rep.ServerFaults)
+	}
+}
+
+// uploadWithRetry ships db to the server, replaying the full upload on
+// a fresh connection up to retries extra times with linear backoff.
+func uploadWithRetry(addr string, p bfv.Params, name string, db *core.EncryptedDB, retries int) error {
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
+		}
+		var conn *proto.Conn
+		if conn, err = proto.Dial(addr, p); err != nil {
+			continue
+		}
+		err = conn.UploadDB(name, core.EngineSpec{}, db)
+		conn.Close()
+		if err == nil {
+			return nil
+		}
+	}
+	return err
 }

@@ -14,6 +14,15 @@
 // ones: the result is bound and then only read (or never used), or the
 // call's pooled result is discarded outright. Per-path leaks on early
 // returns are out of scope and covered by the leak-check tests.
+//
+// One class of mid-path leak IS in scope: panic-isolation boundaries.
+// In a function that installs a deferred recover() (the server's
+// request and batch-executor panic isolation), a panic between a pooled
+// acquisition and its inline Release is swallowed — the process keeps
+// serving and the value never returns to its pool, turning every
+// recovered panic into steady-state garbage. Inside such a function an
+// inline Release therefore does not discharge; the Release must be
+// deferred (or ownership must leave by return/store/handoff as usual).
 package poolrelease
 
 import (
@@ -119,20 +128,61 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		pass.Reportf(call.Pos(), "result of pooled call in %s is discarded without Release", fd.Name.Name)
 	}
 
+	boundary := recoverBoundary(info, fd)
 	for _, acq := range acquires {
-		if !discharged(pass, fd, acq.obj, acq.stmt) {
+		d := discharges(pass, fd, acq.obj, acq.stmt)
+		switch {
+		case d.deferRelease || d.transfer:
+		case d.inlineRelease && !boundary:
+		case d.inlineRelease && boundary:
+			pass.Reportf(acq.id.Pos(), "pooled value %s in %s is Released inline under a recover boundary — a recovered panic before the Release leaks it; defer the Release", acq.id.Name, fd.Name.Name)
+		default:
 			pass.Reportf(acq.id.Pos(), "pooled value %s in %s is never Released, returned, stored or handed off", acq.id.Name, fd.Name.Name)
 		}
 	}
 }
 
-// discharged reports whether obj's ownership leaves the function on some
-// path: a Release call, a return, an assignment that stores it, use as a
-// call argument, a channel send, or a composite literal. Only the value
-// itself in those positions counts — returning or passing a *field* of
-// the pooled value (r.n) is a read, not a transfer, and must not mask a
-// missing Release.
-func discharged(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object, bind *ast.AssignStmt) bool {
+// recoverBoundary reports whether fd installs a deferred recover() —
+// the panic-isolation pattern. Such a function swallows panics instead
+// of propagating them, so its own cleanup never runs for statements
+// after the panic point unless it is deferred.
+func recoverBoundary(info *types.Info, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if def, ok := n.(*ast.DeferStmt); ok {
+			ast.Inspect(def, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && analysis.BuiltinName(info, call) == "recover" {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// dischargeSet classifies how obj's ownership leaves the function:
+// transfer covers return, store, channel send, range, composite literal
+// and handoff as a call argument; Release calls are split by whether
+// they run deferred, because only the deferred form survives a panic in
+// a recover-boundary function.
+type dischargeSet struct {
+	inlineRelease bool
+	deferRelease  bool
+	transfer      bool
+}
+
+// discharges scans fd for the ways obj's ownership leaves the function
+// on some path: a Release call (inline or deferred), a return, an
+// assignment that stores it, use as a call argument, a channel send, or
+// a composite literal. Only the value itself in those positions counts —
+// returning or passing a *field* of the pooled value (r.n) is a read,
+// not a transfer, and must not mask a missing Release.
+func discharges(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object, bind *ast.AssignStmt) dischargeSet {
 	info := pass.TypesInfo
 	// isObj: the expression is the pooled value itself, possibly behind
 	// parens, &, or *. An IndexExpr over the value also counts: an
@@ -173,76 +223,84 @@ func discharged(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object, bind *a
 			e = sel.X
 		}
 	}
-	found := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			// v.Release() (possibly deferred, possibly v.Hits.Release()).
-			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && selectorBaseIsObj(sel.X) {
-				found = true
-				return false
-			}
-			// v handed to another function as an argument. len/cap are
-			// pure reads, not transfers, so they do not discharge.
-			if b := analysis.BuiltinName(info, n); b != "len" && b != "cap" {
-				for _, arg := range n.Args {
-					if isObj(arg) {
-						found = true
-						return false
+	var d dischargeSet
+	// walk inspects a subtree, entering DeferStmt subtrees with the
+	// deferred flag raised so Release calls classify by whether they run
+	// on the unwind path (defer v.Release(), defer func(){v.Release()}())
+	// or only on the straight-line path.
+	var walk func(root ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if !deferred {
+					walk(n.Call, true)
+					return false
+				}
+			case *ast.CallExpr:
+				// v.Release() (possibly v.Hits.Release()).
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && selectorBaseIsObj(sel.X) {
+					if deferred {
+						d.deferRelease = true
+					} else {
+						d.inlineRelease = true
+					}
+					return true
+				}
+				// v handed to another function as an argument. len/cap are
+				// pure reads, not transfers, so they do not discharge.
+				if b := analysis.BuiltinName(info, n); b != "len" && b != "cap" {
+					for _, arg := range n.Args {
+						if isObj(arg) {
+							d.transfer = true
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if isObj(res) {
+						d.transfer = true
+					}
+				}
+			case *ast.AssignStmt:
+				if n == bind {
+					return true
+				}
+				// v stored somewhere (field, slice slot, another variable —
+				// aliasing transfers ownership tracking out of scope).
+				for _, rhs := range n.Rhs {
+					if isObj(rhs) {
+						d.transfer = true
+					}
+				}
+			case *ast.SendStmt:
+				if isObj(n.Value) {
+					d.transfer = true
+				}
+			case *ast.RangeStmt:
+				// Ranging over a pooled batch result (for _, r := range rs)
+				// discharges the batch: the per-element Release discipline in
+				// the loop body is the caller's, and per-element tracking is
+				// out of scope for a CFG-free check.
+				if isObj(n.X) {
+					d.transfer = true
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					e := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						e = kv.Value
+					}
+					if isObj(e) {
+						d.transfer = true
 					}
 				}
 			}
-		case *ast.ReturnStmt:
-			for _, res := range n.Results {
-				if isObj(res) {
-					found = true
-					return false
-				}
-			}
-		case *ast.AssignStmt:
-			if n == bind {
-				return true
-			}
-			// v stored somewhere (field, slice slot, another variable —
-			// aliasing transfers ownership tracking out of scope).
-			for _, rhs := range n.Rhs {
-				if isObj(rhs) {
-					found = true
-					return false
-				}
-			}
-		case *ast.SendStmt:
-			if isObj(n.Value) {
-				found = true
-				return false
-			}
-		case *ast.RangeStmt:
-			// Ranging over a pooled batch result (for _, r := range rs)
-			// discharges the batch: the per-element Release discipline in
-			// the loop body is the caller's, and per-element tracking is
-			// out of scope for a CFG-free check.
-			if isObj(n.X) {
-				found = true
-				return false
-			}
-		case *ast.CompositeLit:
-			for _, elt := range n.Elts {
-				e := elt
-				if kv, ok := elt.(*ast.KeyValueExpr); ok {
-					e = kv.Value
-				}
-				if isObj(e) {
-					found = true
-					return false
-				}
-			}
-		}
-		return true
-	})
-	return found
+			return true
+		})
+	}
+	walk(fd.Body, false)
+	return d
 }
 
 func isErrorType(t types.Type) bool {

@@ -132,3 +132,58 @@ func useAllowed() int {
 	r := acquire()
 	return r.n
 }
+
+// Recover boundaries: a deferred recover() swallows panics, so only a
+// deferred Release survives a panic between acquisition and cleanup.
+
+func boundaryDeferRelease() (n int) {
+	defer func() {
+		if recover() != nil {
+			n = -1
+		}
+	}()
+	r := acquire()
+	defer r.Release()
+	return r.n
+}
+
+func boundaryInlineRelease() (n int) {
+	defer func() {
+		if recover() != nil {
+			n = -1
+		}
+	}()
+	r := acquire() // want `Released inline under a recover boundary`
+	n = r.n
+	r.Release()
+	return n
+}
+
+func boundaryHandoff() (n int) {
+	defer func() {
+		if recover() != nil {
+			n = -1
+		}
+	}()
+	r := acquire()
+	consume(r) // ownership transfers; the callee owns the unwind risk
+	return 0
+}
+
+func boundaryReturn() (r *result) {
+	defer func() {
+		if recover() != nil {
+			r = nil
+		}
+	}()
+	return acquire()
+}
+
+func inlineReleaseNoBoundary() int {
+	// Without a recover boundary a panic propagates to a caller that
+	// can clean up (or kills the process) — inline Release stays legal.
+	r := acquire()
+	n := r.n
+	r.Release()
+	return n
+}

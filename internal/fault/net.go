@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Listener wraps l so every accepted connection carries the injector's
+// connection faults (mid-message drops, stalled reads/writes). Wrap the
+// server's listener to chaos-test the serving stack end to end.
+func (inj *Injector) Listener(l net.Listener) net.Listener {
+	return &listener{Listener: l, inj: inj}
+}
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Conn(c), nil
+}
+
+// Conn wraps one connection with the injector's connection faults.
+// Wrapping a client-side conn simulates a flaky client (slow-loris when
+// stalls exceed the server's read deadline); wrapping server-side
+// simulates a flaky network under every client at once.
+func (inj *Injector) Conn(c net.Conn) net.Conn {
+	return &conn{Conn: c, inj: inj}
+}
+
+type conn struct {
+	net.Conn
+	inj *Injector
+}
+
+// Read stalls or drops per the injector before delegating. A drop
+// closes the connection, so the peer's in-flight message is torn.
+func (c *conn) Read(p []byte) (int, error) {
+	if c.inj.stall.hit() {
+		c.inj.nStall.inc()
+		time.Sleep(c.inj.cfg.Stall)
+	}
+	if c.inj.drop.hit() {
+		c.inj.nDrop.inc()
+		c.Conn.Close()
+		return 0, fmt.Errorf("fault: injected connection drop: %w", net.ErrClosed)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write stalls or drops per the injector; a drop writes half the buffer
+// first and then closes, so the peer reads a truncated message — the
+// torn state a real mid-message connection loss leaves.
+func (c *conn) Write(p []byte) (int, error) {
+	if c.inj.stall.hit() {
+		c.inj.nStall.inc()
+		time.Sleep(c.inj.cfg.Stall)
+	}
+	if c.inj.drop.hit() {
+		c.inj.nDrop.inc()
+		n := 0
+		if len(p) > 1 {
+			n, _ = c.Conn.Write(p[:len(p)/2])
+		}
+		c.Conn.Close()
+		return n, fmt.Errorf("fault: injected connection drop: %w", net.ErrClosed)
+	}
+	return c.Conn.Write(p)
+}

@@ -42,6 +42,11 @@ type StormConfig struct {
 	PerConnQPS float64
 	// Duration is how long the storm runs. Defaults to 2s.
 	Duration time.Duration
+	// Retry, when Max > 0, arms client-side retry-with-backoff on every
+	// storm connection (the chaos smoke runs with this on: injected
+	// connection faults must resolve as retries, not client errors).
+	// Each connection gets a distinct seed derived from Retry.Seed.
+	Retry proto.RetryPolicy
 }
 
 // StormReport is the machine-readable outcome of one storm run:
@@ -56,7 +61,10 @@ type StormReport struct {
 	Queries      int64   `json:"queries"`
 	QPS          float64 `json:"qps"`
 	Errors       int64   `json:"errors"`
-	Rejected     int64   `json:"rejected"` // admission-control ErrOverloaded replies
+	Rejected     int64   `json:"rejected"`      // admission-control ErrOverloaded replies
+	ServerFaults int64   `json:"server_faults"` // typed MsgServerError replies (panic, corruption)
+	Retries      int64   `json:"retries"`       // client-side request replays
+	Reconnects   int64   `json:"reconnects"`    // client-side re-dials after poisoned conns
 	WrongResults int64   `json:"wrong_results"`
 	LatMeanMs    float64 `json:"lat_mean_ms"`
 	LatP50Ms     float64 `json:"lat_p50_ms"`
@@ -118,6 +126,11 @@ func RunStorm(cfg StormConfig) (*StormReport, error) {
 		return nil, fmt.Errorf("harness: storm control dial: %w", err)
 	}
 	defer ctrl.Close()
+	if cfg.Retry.Max > 0 {
+		policy := cfg.Retry
+		policy.Seed = cfg.Retry.Seed + "/ctrl"
+		ctrl.SetRetry(policy)
+	}
 
 	// Pre-encode every request once (payloads are connection-
 	// independent): the storm measures serving throughput, so the
@@ -140,11 +153,14 @@ func RunStorm(cfg StormConfig) (*StormReport, error) {
 	}
 
 	var (
-		lat      metrics.Histogram
-		queries  atomic.Int64
-		errs     atomic.Int64
-		rejected atomic.Int64
-		wrong    atomic.Int64
+		lat        metrics.Histogram
+		queries    atomic.Int64
+		errs       atomic.Int64
+		rejected   atomic.Int64
+		faults     atomic.Int64
+		wrong      atomic.Int64
+		retries    atomic.Int64
+		reconnects atomic.Int64
 	)
 	var interval time.Duration
 	if cfg.PerConnQPS > 0 {
@@ -165,6 +181,16 @@ func RunStorm(cfg StormConfig) (*StormReport, error) {
 				return
 			}
 			defer conn.Close()
+			if cfg.Retry.Max > 0 {
+				policy := cfg.Retry
+				policy.Seed = fmt.Sprintf("%s/conn%d", cfg.Retry.Seed, c)
+				conn.SetRetry(policy)
+			}
+			defer func() {
+				rs := conn.RetryStats()
+				retries.Add(rs.Retries)
+				reconnects.Add(rs.Reconnects)
+			}()
 			tgt := cfg.Targets[c%len(cfg.Targets)]
 			payloads := prepared[c%len(cfg.Targets)]
 			next := time.Now()
@@ -184,6 +210,8 @@ func RunStorm(cfg StormConfig) (*StormReport, error) {
 				switch {
 				case errors.Is(err, proto.ErrOverloaded):
 					rejected.Add(1)
+				case errors.Is(err, proto.ErrServerFault):
+					faults.Add(1)
 				case err != nil:
 					errs.Add(1)
 				case tgt.Expect != nil && !equalCandidates(got, tgt.Expect[qi]):
@@ -210,6 +238,9 @@ func RunStorm(cfg StormConfig) (*StormReport, error) {
 		Queries:      queries.Load(),
 		Errors:       errs.Load(),
 		Rejected:     rejected.Load(),
+		ServerFaults: faults.Load(),
+		Retries:      retries.Load(),
+		Reconnects:   reconnects.Load(),
 		WrongResults: wrong.Load(),
 		LatP50Ms:     float64(lat.Quantile(0.50)) / 1e6,
 		LatP95Ms:     float64(lat.Quantile(0.95)) / 1e6,

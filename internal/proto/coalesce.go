@@ -306,7 +306,7 @@ func (co *Coalescer) runExecutor() {
 			co.reapIfEmpty(q)
 			continue
 		}
-		co.execute(q.name, batch)
+		co.executeSafe(q.name, batch)
 		co.reapIfEmpty(q)
 	}
 }
@@ -356,10 +356,39 @@ type queryGroup struct {
 
 // fan delivers one outcome to every member of the group. The candidate
 // slice is shared read-only across members (each send only encodes it).
+// The non-blocking send makes fan idempotent per member (done is
+// buffered(1)): the panic-recovery sweep in executeSafe can blanket the
+// whole batch without double-sending to members already answered.
 func (g *queryGroup) fan(res coalesceResult) {
 	for _, pq := range g.members {
-		pq.done <- res
+		select {
+		case pq.done <- res:
+		default:
+		}
 	}
+}
+
+// executeSafe runs one batch with panic isolation: a panic inside the
+// batch kernels or the store poisons only this window — every member
+// that has not been answered yet gets a typed server-fault error, the
+// executor survives, and the waiting connections are never stranded.
+func (co *Coalescer) executeSafe(name string, batch []*pendingQuery) {
+	defer func() {
+		if r := recover(); r == nil {
+			return
+		} else {
+			co.met.panics.Inc()
+			co.met.failed.Add(int64(len(batch)))
+			res := coalesceResult{err: fmt.Errorf("%w: recovered batch-executor panic: %v", ErrServerFault, r)}
+			for _, pq := range batch {
+				select {
+				case pq.done <- res:
+				default: // already answered before the panic
+				}
+			}
+		}
+	}()
+	co.execute(name, batch)
 }
 
 // execute runs one coalesced batch through the store's batched search
@@ -541,6 +570,8 @@ type serverMetrics struct {
 	chunkStreams *metrics.Counter   // arena chunk streams actually performed
 	streamsSaved *metrics.Counter   // arena chunk streams avoided by coalescing
 	decodesSaved *metrics.Counter   // query decodes avoided by payload dedup
+	panics       *metrics.Counter   // handler/executor panics recovered
+	truncated    *metrics.Counter   // connections torn mid-message
 	occupancy    *metrics.Histogram // queries per coalesced batch
 	queueWait    *metrics.Histogram // ns from enqueue to batch execution
 	window       *metrics.Gauge     // last adaptive batching window, ns
@@ -563,6 +594,8 @@ func newServerMetrics() *serverMetrics {
 		chunkStreams: reg.Counter("chunk_streams_total"),
 		streamsSaved: reg.Counter("chunk_streams_saved_total"),
 		decodesSaved: reg.Counter("query_decodes_saved_total"),
+		panics:       reg.Counter("panics_recovered_total"),
+		truncated:    reg.Counter("conns_truncated_total"),
 		occupancy:    reg.Histogram("batch_occupancy"),
 		queueWait:    reg.Histogram("queue_wait_ns"),
 		window:       reg.Gauge("coalesce_window_ns"),

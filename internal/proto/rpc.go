@@ -3,12 +3,17 @@ package proto
 import (
 	"errors"
 	"fmt"
+	"io"
+	"math/bits"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/core"
 	"ciphermatch/internal/metrics"
+	"ciphermatch/internal/rng"
 )
 
 // Server is the network-facing CIPHERMATCH service: a multi-tenant
@@ -23,6 +28,18 @@ type Server struct {
 	store  *Store
 	met    *serverMetrics
 	co     *Coalescer // nil = coalescing disabled (every query runs direct)
+
+	// Per-connection I/O deadlines; zero disables. The read deadline
+	// bounds how long an idle or slow-loris peer may hold a connection
+	// between requests; the write deadline bounds a peer that stops
+	// draining replies. Neither interrupts request execution.
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup // one count per in-flight connection
+	down   atomic.Bool
 }
 
 // NewServer creates a server whose databases default to the serial
@@ -34,7 +51,7 @@ func NewServer(params bfv.Params) *Server {
 // NewServerWithSpec creates a server with a default engine spec applied
 // to uploads that do not request a specific engine.
 func NewServerWithSpec(params bfv.Params, defaultSpec core.EngineSpec) *Server {
-	return &Server{params: params, store: NewStore(params, defaultSpec), met: newServerMetrics()}
+	return &Server{params: params, store: NewStore(params, defaultSpec), met: newServerMetrics(), conns: make(map[net.Conn]struct{})}
 }
 
 // NewServerWithOptions creates a server over a durable store: uploads
@@ -52,15 +69,26 @@ func NewServerWithOptions(params bfv.Params, defaultSpec core.EngineSpec, opts S
 // with its admission control (per-database queue caps, bounded
 // executors, MsgOverloaded backpressure).
 func NewServerWithServing(params bfv.Params, defaultSpec core.EngineSpec, opts StoreOptions, coalesce CoalesceConfig) (*Server, error) {
+	met := newServerMetrics()
+	if opts.Metrics == nil {
+		opts.Metrics = met.reg // store_* counters land in /metrics too
+	}
 	store, err := NewStoreWithOptions(params, defaultSpec, opts)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{params: params, store: store, met: newServerMetrics()}
+	s := &Server{params: params, store: store, met: met, conns: make(map[net.Conn]struct{})}
 	if coalesce.Window > 0 {
 		s.co = NewCoalescer(store, params, coalesce, s.met)
 	}
 	return s, nil
+}
+
+// SetTimeouts configures the per-connection read and write deadlines
+// applied around each request (zero disables either). Call before
+// Serve.
+func (s *Server) SetTimeouts(read, write time.Duration) {
+	s.readTimeout, s.writeTimeout = read, write
 }
 
 // Store exposes the database registry (for embedding the server
@@ -72,12 +100,36 @@ func (s *Server) Store() *Store { return s.store }
 func (s *Server) Metrics() *metrics.Registry { return s.met.reg }
 
 // Close stops the coalescer (failing stranded queries) and retires the
-// store. Call on shutdown after the listener has closed.
+// store. Call on shutdown after the listener has closed; prefer
+// Shutdown, which drains in-flight requests first.
 func (s *Server) Close() error {
 	if s.co != nil {
 		s.co.Close()
 	}
 	return s.store.Close()
+}
+
+// Shutdown drains and stops the server: no new connections are
+// admitted, idle connections are unblocked, every request already read
+// off a connection — including queries parked in coalescing windows —
+// runs to completion and has its reply written, and only then are the
+// coalescer and store closed. Close the listener first so Serve stops
+// accepting. No accepted query is silently dropped.
+func (s *Server) Shutdown() error {
+	if !s.down.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Expire reads on every connection: handlers blocked waiting for the
+	// *next* request fail out of ReadMessage immediately, while handlers
+	// mid-request are untouched (the deadline only gates reads) and
+	// still write their reply.
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now()) //nolint:errcheck // best-effort unblock
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return s.Close()
 }
 
 // Serve accepts connections until the listener closes. Each connection
@@ -88,37 +140,97 @@ func (s *Server) Serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
+		if !s.track(conn) {
+			conn.Close()
+			continue
+		}
 		go s.handleConn(conn)
 	}
+}
+
+// track registers a connection for shutdown draining; false once the
+// server is shutting down (the connection must be refused).
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.down.Load() {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	s.wg.Done()
 }
 
 // handleConn answers requests until the peer disconnects. Application
 // errors (unknown database, malformed query) are reported as MsgError
 // and the connection stays usable — one tenant's bad request must not
-// tear down a session.
+// tear down a session. A handler panic is confined to the request that
+// caused it and answered with MsgServerError; the process, the other
+// connections, and even this connection keep serving.
 func (s *Server) handleConn(conn net.Conn) {
+	defer s.untrack(conn)
 	defer conn.Close()
 	for {
+		if s.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.readTimeout)) //nolint:errcheck // fails only with the conn
+		}
 		msgType, payload, err := ReadMessage(conn)
 		if err != nil {
-			return // EOF or broken peer; nothing to answer
-		}
-		reply, body, err := s.handleMessage(msgType, payload)
-		if err != nil {
-			// Admission-control rejections travel typed so clients can
-			// distinguish transient overload (retry with backoff) from a
-			// request that will never succeed.
-			if errors.Is(err, ErrOverloaded) || errors.Is(err, errShutdown) {
-				reply, body = MsgOverloaded, []byte(err.Error())
-			} else {
-				s.met.errorsTotal.Inc()
-				reply, body = MsgError, []byte(err.Error())
+			if errors.Is(err, ErrConnTruncated) {
+				s.met.truncated.Inc()
 			}
+			return // EOF, deadline, or broken peer; nothing to answer
+		}
+		reply, body := s.answer(msgType, payload)
+		if s.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)) //nolint:errcheck // fails only with the conn
 		}
 		if err := WriteMessage(conn, reply, body); err != nil {
 			return
 		}
 	}
+}
+
+// answer runs one request through handleMessage with panic isolation
+// and maps errors to their typed wire replies.
+func (s *Server) answer(msgType byte, payload []byte) (reply byte, body []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.panics.Inc()
+			s.met.errorsTotal.Inc()
+			reply, body = MsgServerError, []byte(fmt.Sprintf("recovered panic: %v", r))
+		}
+	}()
+	reply, body, err := s.handleMessage(msgType, payload)
+	if err != nil {
+		switch {
+		// Admission-control rejections travel typed so clients can
+		// distinguish transient overload (retry with backoff) from a
+		// request that will never succeed.
+		case errors.Is(err, ErrOverloaded) || errors.Is(err, errShutdown):
+			reply, body = MsgOverloaded, []byte(err.Error())
+		// Server-side faults (quarantined storage, recovered executor
+		// panics) travel typed too: the request was fine, the server
+		// was not — retryable for read-only requests.
+		case errors.Is(err, ErrServerFault):
+			s.met.errorsTotal.Inc()
+			reply, body = MsgServerError, []byte(err.Error())
+		default:
+			s.met.errorsTotal.Inc()
+			reply, body = MsgError, []byte(err.Error())
+		}
+	}
+	return reply, body
 }
 
 func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, error) {
@@ -217,13 +329,54 @@ func (s *Server) searchOne(payload []byte) ([]int, error) {
 	return candidates, nil
 }
 
+// RetryPolicy configures client-side retries of read-only requests.
+// Queries never mutate server state, so replaying one after an
+// ambiguous failure (timeout, dropped connection) is always safe —
+// the worst case is the server computing an answer nobody reads.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt; 0 disables.
+	Max int
+	// BaseDelay is the first backoff step (default 5ms); each retry
+	// doubles it up to MaxDelay (default 250ms), with ±50% seeded
+	// jitter so synchronized clients do not re-stampede in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Timeout is the per-attempt I/O deadline covering one write+read
+	// round trip; 0 leaves the connection's default (no deadline).
+	Timeout time.Duration
+	// Seed derives the jitter stream; any string, "" included.
+	Seed string
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	return p
+}
+
+// RetryStats counts a connection's recovery activity.
+type RetryStats struct {
+	Retries    int64 // replays after MsgOverloaded, timeouts, transport faults
+	Reconnects int64 // re-dials after a poisoned connection
+}
+
 // Conn is the client side of the protocol. A Conn serialises its own
 // request/response pairs; open one Conn per goroutine for parallel
 // searches.
 type Conn struct {
 	params bfv.Params
+	addr   string // "" when wrapped around an existing net.Conn
 	mu     sync.Mutex
 	conn   net.Conn
+
+	retry      RetryPolicy
+	jitter     *rng.Source // guarded by mu
+	retries    atomic.Int64
+	reconnects atomic.Int64
 }
 
 // Dial connects to a CIPHERMATCH server.
@@ -232,20 +385,129 @@ func Dial(addr string, params bfv.Params) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{params: params, conn: c}, nil
+	return &Conn{params: params, addr: addr, conn: c}, nil
+}
+
+// NewConn wraps an established connection (a test pipe, a tunnel).
+// Without a dial address, retries can still replay after MsgOverloaded
+// but cannot reconnect after transport faults.
+func NewConn(conn net.Conn, params bfv.Params) *Conn {
+	return &Conn{params: params, conn: conn}
+}
+
+// SetRetry enables retry-with-backoff on this connection's read-only
+// requests (Search, SearchPrepared, SearchBatch, ListDBs, ServerStats):
+// MsgOverloaded replies, per-attempt deadline expiry and transient
+// transport errors (truncated or reset connections) are retried up to
+// policy.Max times with exponential backoff and seeded jitter,
+// re-dialing when the transport is poisoned. Mutating requests
+// (UploadDB, DropDB) are never retried.
+func (c *Conn) SetRetry(policy RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = policy.withDefaults()
+	c.jitter = rng.NewSourceFromString("proto-retry/" + policy.Seed)
+}
+
+// RetryStats reports how many retries and reconnects this connection
+// has performed.
+func (c *Conn) RetryStats() RetryStats {
+	return RetryStats{Retries: c.retries.Load(), Reconnects: c.reconnects.Load()}
 }
 
 // Close closes the connection.
-func (c *Conn) Close() error { return c.conn.Close() }
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
 
-// roundTrip writes one request and reads its reply.
+// roundTrip writes one request and reads its reply, applying the
+// per-attempt deadline when a retry policy sets one.
 func (c *Conn) roundTrip(msgType byte, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.retry.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.retry.Timeout)) //nolint:errcheck // fails only with the conn
+		defer c.conn.SetDeadline(time.Time{})               //nolint:errcheck // fails only with the conn
+	}
 	if err := WriteMessage(c.conn, msgType, payload); err != nil {
 		return 0, nil, err
 	}
 	return ReadMessage(c.conn)
+}
+
+// transientErr reports whether a round-trip error is worth a retry on a
+// fresh connection: the request may never have reached the server, or
+// the reply was lost — either way a read-only request can replay.
+func transientErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrConnTruncated) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error // deadline expiry and transport-level op errors
+	return errors.As(err, &ne)
+}
+
+// reconnect replaces a poisoned connection (mid-message failure leaves
+// the request/reply stream desynchronized) with a fresh dial.
+func (c *Conn) reconnect() error {
+	if c.addr == "" {
+		return fmt.Errorf("proto: cannot reconnect a wrapped connection")
+	}
+	nc, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.conn.Close() //nolint:errcheck // replacing a poisoned connection
+	c.conn = nc
+	c.mu.Unlock()
+	c.reconnects.Add(1)
+	return nil
+}
+
+// backoff returns the jittered exponential delay before retry attempt
+// (0-based).
+func (c *Conn) backoff(attempt int) time.Duration {
+	d := c.retry.BaseDelay
+	if attempt > 0 && attempt < 32 && bits.LeadingZeros64(uint64(d))+attempt < 64 {
+		d <<= attempt
+	}
+	if d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	c.mu.Lock()
+	f := 0.5 + c.jitter.Float64() // ±50% jitter
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// retryRoundTrip is roundTrip with the connection's retry policy:
+// MsgOverloaded replies and transient transport errors back off and
+// replay; anything else — including MsgError and MsgServerError, which
+// prove the server handled the request — returns to the caller. Only
+// read-only requests may use it.
+func (c *Conn) retryRoundTrip(msgType byte, payload []byte) (byte, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		reply, body, err := c.roundTrip(msgType, payload)
+		retryable := (err == nil && reply == MsgOverloaded) || transientErr(err)
+		if !retryable || attempt >= c.retry.Max {
+			return reply, body, err
+		}
+		if err != nil {
+			// The stream may hold half a message: only a fresh
+			// connection can carry the replay.
+			if rerr := c.reconnect(); rerr != nil {
+				return reply, body, err
+			}
+		}
+		c.retries.Add(1)
+		time.Sleep(c.backoff(attempt))
+	}
 }
 
 // UploadDB ships an encrypted database to the server under the given
@@ -286,7 +548,7 @@ func (c *Conn) PrepareSearch(name string, q *core.Query) ([]byte, error) {
 // this or any Conn to the same server — payloads are connection-
 // independent) and decodes the reply like Search.
 func (c *Conn) SearchPrepared(payload []byte) ([]int, error) {
-	reply, body, err := c.roundTrip(MsgQuery, payload)
+	reply, body, err := c.retryRoundTrip(MsgQuery, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -295,6 +557,8 @@ func (c *Conn) SearchPrepared(payload []byte) ([]int, error) {
 		return DecodeResult(body)
 	case MsgOverloaded:
 		return nil, fmt.Errorf("proto: %s: %w", body, ErrOverloaded)
+	case MsgServerError:
+		return nil, fmt.Errorf("proto: %s: %w", body, ErrServerFault)
 	case MsgError:
 		return nil, fmt.Errorf("proto: server error: %s", body)
 	default:
@@ -307,13 +571,15 @@ func (c *Conn) SearchPrepared(payload []byte) ([]int, error) {
 // inputs, batch occupancy, queue latency, coalesce rate, arena passes
 // saved. See DESIGN.md for the catalog.
 func (c *Conn) ServerStats() ([]metrics.KV, error) {
-	reply, body, err := c.roundTrip(MsgStats, nil)
+	reply, body, err := c.retryRoundTrip(MsgStats, nil)
 	if err != nil {
 		return nil, err
 	}
 	switch reply {
 	case MsgStatsResult:
 		return DecodeStats(body)
+	case MsgServerError:
+		return nil, fmt.Errorf("proto: %s: %w", body, ErrServerFault)
 	case MsgError:
 		return nil, fmt.Errorf("proto: server error: %s", body)
 	default:
@@ -338,7 +604,7 @@ func (c *Conn) SearchBatch(name string, queries []*core.Query) ([][]int, error) 
 	// No client-side pointer dedup needed: the wire encoder pools
 	// patterns by content.
 	bq := &core.BatchQuery{Queries: queries}
-	reply, body, err := c.roundTrip(MsgBatchQuery, EncodeNamedBatchQuery(name, bq, c.params))
+	reply, body, err := c.retryRoundTrip(MsgBatchQuery, EncodeNamedBatchQuery(name, bq, c.params))
 	if err != nil {
 		return nil, err
 	}
@@ -352,6 +618,10 @@ func (c *Conn) SearchBatch(name string, queries []*core.Query) ([][]int, error) 
 			return nil, fmt.Errorf("proto: server returned %d results for %d queries", len(results), len(queries))
 		}
 		return results, nil
+	case MsgOverloaded:
+		return nil, fmt.Errorf("proto: %s: %w", body, ErrOverloaded)
+	case MsgServerError:
+		return nil, fmt.Errorf("proto: %s: %w", body, ErrServerFault)
 	case MsgError:
 		return nil, fmt.Errorf("proto: server error: %s", body)
 	default:
@@ -361,13 +631,15 @@ func (c *Conn) SearchBatch(name string, queries []*core.Query) ([][]int, error) 
 
 // ListDBs returns the server's database listing.
 func (c *Conn) ListDBs() ([]DBInfo, error) {
-	reply, body, err := c.roundTrip(MsgListDBs, nil)
+	reply, body, err := c.retryRoundTrip(MsgListDBs, nil)
 	if err != nil {
 		return nil, err
 	}
 	switch reply {
 	case MsgDBList:
 		return DecodeDBList(body)
+	case MsgServerError:
+		return nil, fmt.Errorf("proto: %s: %w", body, ErrServerFault)
 	case MsgError:
 		return nil, fmt.Errorf("proto: server error: %s", body)
 	default:
@@ -388,6 +660,10 @@ func expectAck(reply byte, body []byte) error {
 	switch reply {
 	case MsgAck:
 		return nil
+	case MsgOverloaded:
+		return fmt.Errorf("proto: %s: %w", body, ErrOverloaded)
+	case MsgServerError:
+		return fmt.Errorf("proto: %s: %w", body, ErrServerFault)
 	case MsgError:
 		return fmt.Errorf("proto: server error: %s", body)
 	default:

@@ -1,18 +1,27 @@
 package proto
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/core"
 	"ciphermatch/internal/engine"
+	"ciphermatch/internal/metrics"
 	"ciphermatch/internal/segment"
 )
+
+// ErrCorruptDB marks a database the store quarantined after a plane
+// checksum failed — at reload or under the background scrub. It wraps
+// ErrServerFault, so the wire layer answers MsgServerError: corruption
+// is a server-side fault, never silently-wrong match results.
+var ErrCorruptDB = fmt.Errorf("%w: database quarantined after storage corruption", ErrServerFault)
 
 // Store is the server's multi-tenant database registry: named encrypted
 // databases, each with its own execution engine and its own RWMutex, so
@@ -47,6 +56,36 @@ type Store struct {
 
 	mu  sync.RWMutex
 	dbs map[string]*hostedDB
+
+	met       *storeMetrics
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+	closeOnce sync.Once
+}
+
+// storeMetrics is the store's durability-and-robustness counter set,
+// registered next to the serving metrics so /metrics shows storage
+// faults beside how the serving stack absorbed them.
+type storeMetrics struct {
+	scrubRuns        *metrics.Counter // background/explicit scrub passes
+	scrubCorruptions *metrics.Counter // resident arenas failing their recorded CRCs
+	quarantines      *metrics.Counter // databases taken out of service as corrupt
+	uploadsFailed    *metrics.Counter // uploads refused because the durable write failed
+	reloads          *metrics.Counter // cold databases reloaded from their segment
+	reloadFailures   *metrics.Counter // reload attempts that failed (DB stays cold)
+	evictions        *metrics.Counter // residents evicted by the memory budget
+}
+
+func newStoreMetrics(reg *metrics.Registry) *storeMetrics {
+	return &storeMetrics{
+		scrubRuns:        reg.Counter("store_scrub_runs_total"),
+		scrubCorruptions: reg.Counter("store_scrub_corruptions_total"),
+		quarantines:      reg.Counter("store_quarantines_total"),
+		uploadsFailed:    reg.Counter("store_uploads_failed_total"),
+		reloads:          reg.Counter("store_reloads_total"),
+		reloadFailures:   reg.Counter("store_reload_failures_total"),
+		evictions:        reg.Counter("store_evictions_total"),
+	}
 }
 
 // SkippedSegment reports a recovered-but-unusable segment: well-formed
@@ -69,6 +108,18 @@ type StoreOptions struct {
 	// over-budget tenant still works). 0 means unlimited. Requires
 	// DataDir: an evicted tenant reloads from its segment.
 	MemBudget int64
+	// FS is the filesystem the durable store runs on. Nil means the real
+	// one (segment.OSFS); tests thread a fault-injecting shim through
+	// here to exercise crash, disk-full and corruption handling.
+	FS segment.FS
+	// ScrubInterval enables the background scrub: every interval, each
+	// resident arena is re-hashed against the plane CRCs recorded at
+	// upload or reload, and corrupt databases are quarantined. 0
+	// disables the tick; ScrubOnce can still be called explicitly.
+	ScrubInterval time.Duration
+	// Metrics receives the store_* counters. Nil means a private
+	// registry (counters still recorded, just not exported anywhere).
+	Metrics *metrics.Registry
 }
 
 // hostedDB is one tenant database. Searches hold mu.RLock; load,
@@ -93,6 +144,15 @@ type hostedDB struct {
 	engine  core.Engine
 	seg     *segment.Segment // non-nil while mmap/segment-backed
 	dropped bool
+
+	// planeCRC fingerprints the resident arena — recorded from the
+	// compacted upload or the segment footer at reload, re-verified by
+	// the scrub. crcKnown guards against scrubbing an arena that never
+	// had a fingerprint (a non-compacted memory-only upload).
+	planeCRC   [2]uint64
+	crcKnown   bool
+	corrupt    bool  // quarantined: serve a typed error, never the arena
+	corruptErr error // what the checksum pass found
 }
 
 // NewStore creates an empty memory-only store. Uploads that do not
@@ -111,9 +171,21 @@ func NewStore(params bfv.Params, defaultSpec core.EngineSpec) *Store {
 // under the engine spec persisted in the segment header. Segments
 // written under different BFV parameters are rejected.
 func NewStoreWithOptions(params bfv.Params, defaultSpec core.EngineSpec, opts StoreOptions) (*Store, error) {
-	st := &Store{params: params, defaultSpec: defaultSpec, budget: opts.MemBudget, dbs: make(map[string]*hostedDB)}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	st := &Store{params: params, defaultSpec: defaultSpec, budget: opts.MemBudget, dbs: make(map[string]*hostedDB), met: newStoreMetrics(reg)}
 	if opts.MemBudget < 0 {
 		return nil, fmt.Errorf("proto: negative memory budget %d", opts.MemBudget)
+	}
+	if opts.ScrubInterval < 0 {
+		return nil, fmt.Errorf("proto: negative scrub interval %v", opts.ScrubInterval)
+	}
+	if opts.ScrubInterval > 0 {
+		st.scrubStop = make(chan struct{})
+		st.scrubDone = make(chan struct{})
+		go st.scrubLoop(opts.ScrubInterval)
 	}
 	if opts.DataDir == "" {
 		if opts.MemBudget > 0 {
@@ -121,8 +193,13 @@ func NewStoreWithOptions(params bfv.Params, defaultSpec core.EngineSpec, opts St
 		}
 		return st, nil
 	}
-	dir, err := segment.OpenDir(opts.DataDir)
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = segment.OSFS{}
+	}
+	dir, err := segment.OpenDirFS(fsys, opts.DataDir)
 	if err != nil {
+		st.stopScrub()
 		return nil, fmt.Errorf("proto: opening data directory: %w", err)
 	}
 	st.dir = dir
@@ -218,6 +295,12 @@ func (st *Store) Upload(name string, spec core.EngineSpec, edb *core.EncryptedDB
 		db:          edb,
 		engine:      eng,
 	}
+	if arena := edb.Arena(); arena != nil {
+		// Fingerprint the arena now, while it is known-good: the scrub
+		// and any later reload compare against exactly these CRCs.
+		entry.planeCRC = segment.ArenaPlaneCRCs(arena)
+		entry.crcKnown = true
+	}
 
 	// Serialised persist+register: with concurrent uploads of one name,
 	// the segment on disk and the entry in the registry must be the
@@ -246,6 +329,12 @@ func (st *Store) Upload(name string, spec core.EngineSpec, edb *core.EncryptedDB
 			Spec:        spec,
 		}
 		if err := st.dir.Save(meta, edb); err != nil {
+			// Graceful degradation: the upload is refused cleanly — the
+			// new engine is torn down, the registry and the old segment
+			// (if any) are untouched, so resident state and disk never
+			// skew and existing tenants keep serving. On a full disk the
+			// store effectively degrades to read-only.
+			st.met.uploadsFailed.Inc()
 			st.closeEngine(eng)
 			return fmt.Errorf("proto: persisting %q: %w", name, err)
 		}
@@ -310,6 +399,9 @@ func (st *Store) ensureLoaded(d *hostedDB) error {
 	if d.dropped {
 		return fmt.Errorf("proto: database %q was dropped", d.name)
 	}
+	if d.corrupt {
+		return fmt.Errorf("proto: database %q: %w (%v)", d.name, ErrCorruptDB, d.corruptErr)
+	}
 	if d.engine != nil {
 		return nil // raced with another reloader: already resident
 	}
@@ -318,6 +410,15 @@ func (st *Store) ensureLoaded(d *hostedDB) error {
 	}
 	seg, err := st.dir.Load(d.name, st.params.N, st.params.Q)
 	if err != nil {
+		st.met.reloadFailures.Inc()
+		if isCorruptionErr(err) {
+			// The segment itself is damaged: retrying cannot help, so
+			// quarantine the file (same path the recovery scan takes)
+			// and surface the typed fault. Transient errors fall through
+			// below and leave the database cold but retryable.
+			st.quarantineLocked(d, err)
+			return fmt.Errorf("proto: reloading %q: %w (%v)", d.name, ErrCorruptDB, err)
+		}
 		return fmt.Errorf("proto: reloading %q: %w", d.name, err)
 	}
 	// The reload is always followed by a search streaming the arena:
@@ -326,17 +427,122 @@ func (st *Store) ensureLoaded(d *hostedDB) error {
 	edb, err := seg.DB()
 	if err != nil {
 		_ = seg.Close()
+		st.met.reloadFailures.Inc()
 		return fmt.Errorf("proto: adopting %q arena: %w", d.name, err)
 	}
 	eng, err := engine.Build(st.params, edb, d.spec)
 	if err != nil {
 		_ = seg.Close()
+		st.met.reloadFailures.Inc()
 		return fmt.Errorf("proto: rebuilding %q engine for %q: %w", d.spec, d.name, err)
 	}
 	d.db, d.engine, d.seg = edb, eng, seg
+	// The loader just verified the footer CRCs over these exact bytes;
+	// adopt them as the fingerprint the scrub re-checks.
+	d.planeCRC = seg.PlaneCRCs()
+	d.crcKnown = true
 	d.loaded.Store(true)
+	st.met.reloads.Inc()
 	st.resident.Add(st.arenaBytes(d.chunks))
 	return nil
+}
+
+// isCorruptionErr reports whether a reload failure means the segment
+// bytes are bad (checksum, truncation, framing) rather than a transient
+// I/O condition worth retrying.
+func isCorruptionErr(err error) bool {
+	return errors.Is(err, segment.ErrChecksum) || errors.Is(err, segment.ErrTruncated) ||
+		errors.Is(err, segment.ErrBadMagic) || errors.Is(err, segment.ErrBadVersion)
+}
+
+// ScrubOnce re-hashes every resident arena against the plane CRCs
+// recorded when it entered memory and quarantines any database whose
+// bytes have rotted — the typed-error-instead-of-wrong-answers
+// guarantee for in-memory corruption (mapped page cache or heap). It
+// returns how many residents were checked and how many failed. Cold
+// databases are verified by the segment loader when they come back.
+func (st *Store) ScrubOnce() (checked, corrupted int) {
+	st.met.scrubRuns.Inc()
+	st.mu.RLock()
+	dbs := make([]*hostedDB, 0, len(st.dbs))
+	for _, d := range st.dbs {
+		dbs = append(dbs, d)
+	}
+	st.mu.RUnlock()
+	for _, d := range dbs {
+		d.mu.RLock()
+		ok := !d.dropped && !d.corrupt && d.crcKnown && d.db != nil && d.db.Arena() != nil
+		var got [2]uint64
+		if ok {
+			// Hashing under RLock: searches proceed, only load/evict wait.
+			got = segment.ArenaPlaneCRCs(d.db.Arena())
+		}
+		want := d.planeCRC
+		d.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		checked++
+		if got == want {
+			continue
+		}
+		corrupted++
+		st.met.scrubCorruptions.Inc()
+		st.quarantine(d, fmt.Errorf("scrub: plane CRCs %016x/%016x, recorded %016x/%016x",
+			got[0], got[1], want[0], want[1]))
+	}
+	return checked, corrupted
+}
+
+// quarantine takes a corrupt database out of service: resident state is
+// released, the entry answers ErrCorruptDB from now on, and the segment
+// file (if any) is atomically renamed aside through the same manifest
+// path the recovery scan uses for damaged files.
+func (st *Store) quarantine(d *hostedDB, cause error) {
+	d.mu.Lock()
+	st.quarantineLocked(d, cause)
+	d.mu.Unlock()
+}
+
+// quarantineLocked is quarantine with d.mu already held.
+func (st *Store) quarantineLocked(d *hostedDB, cause error) {
+	if d.dropped || d.corrupt {
+		return
+	}
+	d.corrupt = true
+	d.corruptErr = cause
+	st.unloadLocked(d)
+	st.met.quarantines.Inc()
+	if st.dir != nil && d.persisted {
+		// Best-effort: a failed rename leaves the file in place, but the
+		// corrupt flag alone already stops it from being served.
+		st.dir.Quarantine(d.name, cause) //nolint:errcheck // entry is already fenced off
+	}
+}
+
+// scrubLoop is the background scrub tick.
+func (st *Store) scrubLoop(interval time.Duration) {
+	defer close(st.scrubDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.scrubStop:
+			return
+		case <-t.C:
+			st.ScrubOnce()
+		}
+	}
+}
+
+// stopScrub halts the background scrub, idempotently.
+func (st *Store) stopScrub() {
+	st.closeOnce.Do(func() {
+		if st.scrubStop != nil {
+			close(st.scrubStop)
+			<-st.scrubDone
+		}
+	})
 }
 
 // enforceBudget evicts least-recently-searched resident databases until
@@ -356,6 +562,7 @@ func (st *Store) enforceBudget(keep *hostedDB) {
 		// Recheck under the lock: the scan ran lock-free.
 		if !v.dropped && v.engine != nil && v.persisted {
 			st.unloadLocked(v)
+			st.met.evictions.Inc()
 		}
 		v.mu.Unlock()
 	}
@@ -404,11 +611,21 @@ func (st *Store) withEngine(name string, fn func(d *hostedDB, eng core.Engine) e
 			d.mu.RUnlock()
 			return fmt.Errorf("proto: database %q was dropped", name)
 		}
+		if d.corrupt {
+			cause := d.corruptErr
+			d.mu.RUnlock()
+			return fmt.Errorf("proto: database %q: %w (%v)", name, ErrCorruptDB, cause)
+		}
 		if eng := d.engine; eng != nil {
 			d.lastUsed.Store(st.clock.Add(1))
-			err := fn(d, eng)
-			d.mu.RUnlock()
-			return err
+			// Deferred unlock: fn runs tenant engine code, and a panic
+			// there is recovered further up (the handler's and the batch
+			// executor's panic isolation) — the read lock must not leak
+			// past that recovery or the database wedges.
+			return func() error {
+				defer d.mu.RUnlock()
+				return fn(d, eng)
+			}()
 		}
 		d.mu.RUnlock()
 		if err := st.ensureLoaded(d); err != nil {
@@ -491,6 +708,8 @@ func (st *Store) List() []DBInfo {
 		switch {
 		case d.dropped:
 			state = StateRetired
+		case d.corrupt:
+			state = StateQuarantined
 		case d.engine != nil:
 			state = StateResident
 			desc = d.engine.Describe()
@@ -516,6 +735,7 @@ func (st *Store) ResidentBytes() int64 { return st.resident.Load() }
 // mappings unmap. Segments and the manifest are already durable — the
 // store reopens from the same directory.
 func (st *Store) Close() error {
+	st.stopScrub()
 	st.mu.Lock()
 	dbs := st.dbs
 	st.dbs = make(map[string]*hostedDB)

@@ -12,6 +12,7 @@ package proto
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -45,7 +46,30 @@ const (
 	// work — retry with backoff. Distinct from MsgError so clients can
 	// tell transient overload from a request that will never succeed.
 	MsgOverloaded byte = 13
+	// MsgServerError reports an internal server fault — a recovered
+	// handler panic, or storage corruption detected mid-request. The
+	// request did not produce a (possibly wrong) answer and the fault is
+	// on the server side, not in the request: clients surface it as
+	// ErrServerFault. The connection stays usable.
+	MsgServerError byte = 14
 )
+
+// ErrConnTruncated is the typed decode-path error for a connection or
+// payload that ended mid-message: the peer vanished (or a fault dropped
+// the connection) partway through a frame, or a frame's payload is
+// shorter than its own structure promises. Transient from a client's
+// point of view — queries are read-only, so reconnect-and-retry is
+// always safe.
+var ErrConnTruncated = errors.New("proto: connection truncated mid-message")
+
+// ErrServerFault is the typed client-side form of MsgServerError: the
+// server hit an internal fault (recovered panic, storage corruption)
+// answering the request. Safe to retry read-only requests.
+var ErrServerFault = errors.New("proto: server internal fault")
+
+// errShortPayload is the buffer decoders' truncation error: a payload
+// shorter than its declared structure. errors.Is(err, ErrConnTruncated).
+var errShortPayload = fmt.Errorf("%w: payload short read", ErrConnTruncated)
 
 // MaxNameLen bounds database names on the wire.
 const MaxNameLen = 255
@@ -81,10 +105,17 @@ func WriteMessage(w io.Writer, msgType byte, payload []byte) error {
 	return err
 }
 
-// ReadMessage reads one framed message.
+// ReadMessage reads one framed message. A clean close between messages
+// returns io.EOF untouched (the peer simply hung up); any end-of-stream
+// or short read *inside* a frame — partial header, partial payload —
+// wraps ErrConnTruncated, so callers can type-switch a torn connection
+// without matching on io error identities.
 func ReadMessage(r io.Reader) (msgType byte, payload []byte, err error) {
 	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if n, err := io.ReadFull(r, hdr[:]); err != nil {
+		if n > 0 || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: header after %d bytes: %v", ErrConnTruncated, n, err)
+		}
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
@@ -92,8 +123,8 @@ func ReadMessage(r io.Reader) (msgType byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("proto: payload of %d bytes exceeds limit", n)
 	}
 	payload = make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+	if m, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: payload after %d of %d bytes: %v", ErrConnTruncated, m, n, err)
 	}
 	return hdr[0], payload, nil
 }
@@ -120,7 +151,7 @@ func (b *buffer) putUint64(v uint64) {
 
 func (b *buffer) uint64() (uint64, error) {
 	if b.off+8 > len(b.data) {
-		return 0, io.ErrUnexpectedEOF
+		return 0, errShortPayload
 	}
 	v := binary.LittleEndian.Uint64(b.data[b.off:])
 	b.off += 8
@@ -129,7 +160,7 @@ func (b *buffer) uint64() (uint64, error) {
 
 func (b *buffer) uint32() (uint32, error) {
 	if b.off+4 > len(b.data) {
-		return 0, io.ErrUnexpectedEOF
+		return 0, errShortPayload
 	}
 	v := binary.LittleEndian.Uint32(b.data[b.off:])
 	b.off += 4
@@ -152,7 +183,7 @@ func (b *buffer) string() (string, error) {
 		return "", err
 	}
 	if b.off+n > len(b.data) {
-		return "", io.ErrUnexpectedEOF
+		return "", errShortPayload
 	}
 	s := string(b.data[b.off : b.off+n])
 	b.off += n
@@ -212,7 +243,7 @@ func (b *buffer) polyInto(dst ring.Poly, qBytes int) error {
 	}
 	need := n * qBytes
 	if b.off+need > len(b.data) {
-		return io.ErrUnexpectedEOF
+		return errShortPayload
 	}
 	var tmp [8]byte
 	for i := 0; i < n; i++ {
@@ -653,9 +684,10 @@ func DecodeName(data []byte) (string, error) {
 // cold databases transparently (the first search reloads the segment),
 // so the listing distinguishes what is costing memory right now.
 const (
-	StateResident = "resident"
-	StateCold     = "cold"
-	StateRetired  = "retired"
+	StateResident    = "resident"
+	StateCold        = "cold"
+	StateRetired     = "retired"
+	StateQuarantined = "quarantined" // corrupt: fenced off, serves a typed error
 )
 
 // DBInfo describes one hosted database (MsgDBList). Chunks and BitLen

@@ -19,6 +19,12 @@ const ManifestName = "MANIFEST.json"
 
 const segSuffix = ".seg"
 
+// QuarantineSuffix marks a segment file set aside by the runtime
+// scrubber after a checksum failure: the file keeps its bytes for
+// operator inspection but no longer matches the *.seg scan pattern, so
+// subsequent recovery scans skip it.
+const QuarantineSuffix = ".quarantined"
+
 // FileName maps a database name to its segment file name. Names are
 // arbitrary bytes up to MaxNameLen, so the file name is a digest, not
 // an escape of the name; the name itself is stored inside the segment
@@ -47,6 +53,7 @@ type Damaged struct {
 // the orphan from its self-describing header and rewrites the manifest.
 type Dir struct {
 	root string
+	fsys FS
 
 	mu      sync.Mutex
 	entries map[string]*Entry // by database name
@@ -78,24 +85,30 @@ type manifestEntry struct {
 // validation are quarantined in Damaged(), not deleted — the store
 // boots without them and an operator can inspect or restore.
 func OpenDir(root string) (*Dir, error) {
-	if err := os.MkdirAll(root, 0o755); err != nil {
+	return OpenDirFS(OSFS{}, root)
+}
+
+// OpenDirFS is OpenDir over an explicit filesystem; every subsequent
+// Save/Load/Remove on the returned Dir goes through fsys too.
+func OpenDirFS(fsys FS, root string) (*Dir, error) {
+	if err := fsys.MkdirAll(root, 0o755); err != nil {
 		return nil, err
 	}
-	d := &Dir{root: root, entries: make(map[string]*Entry)}
-	names, err := os.ReadDir(root)
+	d := &Dir{root: root, fsys: fsys, entries: make(map[string]*Entry)}
+	names, err := fsys.ReadDir(root)
 	if err != nil {
 		return nil, err
 	}
 	for _, de := range names {
 		fn := de.Name()
 		if strings.HasSuffix(fn, ".tmp") {
-			os.Remove(filepath.Join(root, fn)) //nolint:errcheck // stale partial write
+			fsys.Remove(filepath.Join(root, fn)) //nolint:errcheck // stale partial write
 			continue
 		}
 		if !strings.HasSuffix(fn, segSuffix) || de.IsDir() {
 			continue
 		}
-		meta, err := ReadMeta(filepath.Join(root, fn))
+		meta, err := ReadMetaFS(fsys, filepath.Join(root, fn))
 		if err != nil {
 			d.damaged = append(d.damaged, Damaged{File: fn, Err: err})
 			continue
@@ -116,6 +129,9 @@ func OpenDir(root string) (*Dir, error) {
 
 // Root returns the directory path.
 func (d *Dir) Root() string { return d.root }
+
+// FS returns the filesystem the directory operates through.
+func (d *Dir) FS() FS { return d.fsys }
 
 // Entries lists registered segments sorted by database name.
 func (d *Dir) Entries() []Entry {
@@ -142,7 +158,7 @@ func (d *Dir) Save(meta Meta, db *core.EncryptedDB) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	fn := FileName(meta.Name)
-	if err := Write(filepath.Join(d.root, fn), meta, db); err != nil {
+	if err := WriteFS(d.fsys, filepath.Join(d.root, fn), meta, db); err != nil {
 		return err
 	}
 	d.entries[meta.Name] = &Entry{Meta: meta, File: fn}
@@ -157,7 +173,7 @@ func (d *Dir) Load(name string, ringDegree int, modulus uint64) (*Segment, error
 	if !ok {
 		return nil, fmt.Errorf("segment: no segment for database %q", name)
 	}
-	return Open(filepath.Join(d.root, e.File), ringDegree, modulus)
+	return OpenFS(d.fsys, filepath.Join(d.root, e.File), ringDegree, modulus)
 }
 
 // Remove deletes the named segment file and its manifest entry.
@@ -168,15 +184,41 @@ func (d *Dir) Remove(name string) error {
 	if !ok {
 		return nil
 	}
-	if err := os.Remove(filepath.Join(d.root, e.File)); err != nil && !os.IsNotExist(err) {
+	if err := d.fsys.Remove(filepath.Join(d.root, e.File)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	delete(d.entries, name)
-	syncDir(d.root)
+	d.fsys.SyncDir(d.root) //nolint:errcheck // advisory durability barrier
 	return d.writeManifest()
 }
 
-// writeManifest rewrites the manifest atomically; d.mu held.
+// Quarantine sets the named segment's file aside (renamed with
+// QuarantineSuffix so the recovery scan skips it, bytes preserved for
+// inspection), drops its manifest entry and records it as damaged with
+// reason. Called by the runtime scrubber when a resident or reloaded
+// segment fails its checksums — the same end state startup recovery
+// gives a file that never validated.
+func (d *Dir) Quarantine(name string, reason error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[name]
+	if !ok {
+		return nil
+	}
+	src := filepath.Join(d.root, e.File)
+	if err := d.fsys.Rename(src, src+QuarantineSuffix); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	delete(d.entries, name)
+	d.damaged = append(d.damaged, Damaged{File: e.File, Err: reason})
+	d.fsys.SyncDir(d.root) //nolint:errcheck // advisory durability barrier
+	return d.writeManifest()
+}
+
+// writeManifest rewrites the manifest atomically; d.mu held. The
+// manifest is a cache of the self-describing segment headers, so its
+// two crash points (before the tmp write, before the rename) lose
+// nothing: the next OpenDir scan rebuilds it.
 func (d *Dir) writeManifest() error {
 	m := manifest{Version: 1}
 	for _, name := range sortedNames(d.entries) {
@@ -198,17 +240,36 @@ func (d *Dir) writeManifest() error {
 	if err != nil {
 		return err
 	}
+	if err := d.fsys.Crash(CrashManifestWrite); err != nil {
+		return err
+	}
 	path := filepath.Join(d.root, ManifestName)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileFS(d.fsys, tmp, append(data, '\n')); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+	if err := d.fsys.Crash(CrashManifestRename); err != nil {
 		return err
 	}
-	syncDir(d.root)
+	if err := d.fsys.Rename(tmp, path); err != nil {
+		d.fsys.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return err
+	}
+	d.fsys.SyncDir(d.root) //nolint:errcheck // advisory durability barrier
 	return nil
+}
+
+// writeFileFS is os.WriteFile through an FS.
+func writeFileFS(fsys FS, name string, data []byte) error {
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func sortedNames(m map[string]*Entry) []string {

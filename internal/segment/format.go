@@ -209,3 +209,28 @@ func decodeHeader(buf []byte) (Meta, int, error) {
 	}
 	return m, int(nameLen), nil
 }
+
+// ArenaPlaneCRCs computes the CRC-64/ECMA of each coefficient plane of
+// a compact plane-major arena, exactly as Write stores them in the
+// segment footer. The store checksums resident arenas with it at upload
+// time, so the background scrub can compare memory against the same
+// fingerprint a durable segment carries.
+func ArenaPlaneCRCs(arena []uint64) [2]uint64 {
+	var crcs [2]uint64
+	words := len(arena) / 2
+	for p := 0; p < 2; p++ {
+		plane := arena[p*words : (p+1)*words]
+		if nativeLittleEndian {
+			crcs[p] = crc64.Checksum(u64Bytes(plane), crcTable)
+			continue
+		}
+		h := crc64.New(crcTable)
+		var buf [8]byte
+		for _, w := range plane {
+			binary.LittleEndian.PutUint64(buf[:], w)
+			h.Write(buf[:]) //nolint:errcheck // hash.Hash never errors
+		}
+		crcs[p] = h.Sum64()
+	}
+	return crcs
+}

@@ -19,9 +19,11 @@ import (
 // The arena (and any EncryptedDB adopted over it) must not be used
 // after Close: a mapped arena's pages vanish with the mapping.
 type Segment struct {
-	meta    Meta
-	arena   []uint64
-	mapping []byte // non-nil while mmap-backed
+	meta     Meta
+	arena    []uint64
+	mapping  []byte // non-nil while mmap-backed
+	fsys     FS     // filesystem that produced the mapping
+	planeCRC [2]uint64
 }
 
 // Meta returns the segment's identity and geometry.
@@ -30,6 +32,12 @@ func (s *Segment) Meta() Meta { return s.meta }
 // Arena returns the coefficient planes in core.EncryptedDB.Compact
 // layout (C0 plane then C1 plane). Read-only.
 func (s *Segment) Arena() []uint64 { return s.arena }
+
+// PlaneCRCs returns the CRC-64/ECMA of each coefficient plane as stored
+// in the file footer (verified against the bytes at load time). The
+// store records them so the background scrubber can re-verify resident
+// arenas against the durable checksums.
+func (s *Segment) PlaneCRCs() [2]uint64 { return s.planeCRC }
 
 // Mapped reports whether the arena is a zero-copy file mapping.
 func (s *Segment) Mapped() bool { return s.mapping != nil }
@@ -64,10 +72,13 @@ func (s *Segment) DB() (*core.EncryptedDB, error) {
 
 // Close releases the mapping (or drops the heap arena). Idempotent.
 func (s *Segment) Close() error {
-	m := s.mapping
-	s.mapping, s.arena = nil, nil
+	m, fsys := s.mapping, s.fsys
+	s.mapping, s.arena, s.fsys = nil, nil, nil
 	if m != nil {
-		return munmapFile(m)
+		if fsys == nil {
+			fsys = OSFS{}
+		}
+		return fsys.Munmap(m)
 	}
 	return nil
 }
@@ -77,7 +88,15 @@ func (s *Segment) Close() error {
 // modulus). The error wraps one of ErrBadMagic, ErrBadVersion,
 // ErrTruncated, ErrChecksum, ErrGeometry or ErrCorrupt.
 func Open(path string, ringDegree int, modulus uint64) (*Segment, error) {
-	f, err := os.Open(path)
+	return OpenFS(OSFS{}, path, ringDegree, modulus)
+}
+
+// OpenFS is Open over an explicit filesystem. If fsys cannot map the
+// file (platform without mmap, or an injected mmap failure) the loader
+// falls back to the plain-read copying path — same verification, one
+// heap arena instead of a zero-copy view.
+func OpenFS(fsys FS, path string, ringDegree int, modulus uint64) (*Segment, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -90,22 +109,24 @@ func Open(path string, ringDegree int, modulus uint64) (*Segment, error) {
 		return nil, err
 	}
 
-	if mmapSupported && nativeLittleEndian {
-		if m, err := mmapFile(f, size); err == nil {
+	if nativeLittleEndian {
+		if m, err := fsys.Mmap(f, size); err == nil {
 			// The CRC pass below and the search kernels both stream the
 			// planes front-to-back: tell the kernel so readahead runs
 			// at full depth from the first fault.
 			adviseSequential(m)
-			if err := verifyMapped(m, planeOff, meta); err != nil {
-				munmapFile(m) //nolint:errcheck // reporting the verify failure
+			foot, err := verifyMapped(m, planeOff, meta)
+			if err != nil {
+				fsys.Munmap(m) //nolint:errcheck // reporting the verify failure
 				return nil, err
 			}
 			if arena := bytesU64(m[planeOff : int64(planeOff)+2*meta.planeBytes()]); arena != nil {
-				return &Segment{meta: meta, arena: arena, mapping: m}, nil
+				return &Segment{meta: meta, arena: arena, mapping: m, fsys: fsys, planeCRC: foot.planeCRC}, nil
 			}
-			munmapFile(m) //nolint:errcheck // falling back to the copying loader
+			fsys.Munmap(m) //nolint:errcheck // falling back to the copying loader
 		}
-		// Mapping failed (exotic filesystem, size limits): copy instead.
+		// Mapping failed (exotic filesystem, size limits, injected
+		// fault): copy instead.
 	}
 	return openCopy(f, meta, planeOff)
 }
@@ -114,7 +135,12 @@ func Open(path string, ringDegree int, modulus uint64) (*Segment, error) {
 // checksum without touching the coefficient planes — the cheap probe
 // the recovery scan runs per file at startup.
 func ReadMeta(path string) (Meta, error) {
-	f, err := os.Open(path)
+	return ReadMetaFS(OSFS{}, path)
+}
+
+// ReadMetaFS is ReadMeta over an explicit filesystem.
+func ReadMetaFS(fsys FS, path string) (Meta, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return Meta{}, err
 	}
@@ -126,7 +152,7 @@ func ReadMeta(path string) (Meta, error) {
 // readHeader validates sizes, parses the header and name, and checks
 // the header CRC stored in the footer. It returns the plane offset and
 // total file size.
-func readHeader(f *os.File) (Meta, int, int64, error) {
+func readHeader(f File) (Meta, int, int64, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return Meta{}, 0, 0, err
@@ -181,7 +207,7 @@ type footer struct {
 	headCRC  uint64
 }
 
-func readFooter(f *os.File, size int64) (footer, error) {
+func readFooter(f File, size int64) (footer, error) {
 	var buf [footerLen]byte
 	if _, err := f.ReadAt(buf[:], size-footerLen); err != nil {
 		return footer{}, err
@@ -201,25 +227,27 @@ func decodeFooter(buf []byte) (footer, error) {
 
 // verifyMapped checks both plane CRCs against the mapped bytes. This is
 // the cold-load cost: one sequential fault-in pass over the file.
-func verifyMapped(m []byte, planeOff int, meta Meta) error {
+func verifyMapped(m []byte, planeOff int, meta Meta) (footer, error) {
 	foot, err := decodeFooter(m[len(m)-footerLen:])
 	if err != nil {
-		return err
+		return footer{}, err
 	}
 	pb := meta.planeBytes()
 	for p := 0; p < 2; p++ {
 		lo := int64(planeOff) + int64(p)*pb
 		if crc := crc64.Checksum(m[lo:lo+pb], crcTable); crc != foot.planeCRC[p] {
-			return fmt.Errorf("%w: C%d plane CRC %016x, stored %016x", ErrChecksum, p, crc, foot.planeCRC[p])
+			return footer{}, fmt.Errorf("%w: C%d plane CRC %016x, stored %016x", ErrChecksum, p, crc, foot.planeCRC[p])
 		}
 	}
-	return nil
+	return foot, nil
 }
 
 // openCopy is the plain-read fallback (no mmap, or a big-endian host):
 // the planes are read — and byte-order corrected where needed — into a
 // heap arena. Still O(1) allocations: one arena plus fixed scratch.
-func openCopy(f *os.File, meta Meta, planeOff int) (*Segment, error) {
+// Read-time bit flips injected by a fault FS surface here as ErrChecksum
+// (the CRC pass covers exactly the bytes adopted into the arena).
+func openCopy(f File, meta Meta, planeOff int) (*Segment, error) {
 	foot, err := readFooter(f, int64(planeOff)+2*meta.planeBytes()+footerLen)
 	if err != nil {
 		return nil, err
@@ -250,5 +278,5 @@ func openCopy(f *os.File, meta Meta, planeOff int) (*Segment, error) {
 			return nil, fmt.Errorf("%w: C%d plane CRC %016x, stored %016x", ErrChecksum, p, crc.Sum64(), foot.planeCRC[p])
 		}
 	}
-	return &Segment{meta: meta, arena: arena}, nil
+	return &Segment{meta: meta, arena: arena, planeCRC: foot.planeCRC}, nil
 }

@@ -19,18 +19,33 @@ import (
 // of the meta's ring degree (everything the wire decoder and the client
 // ever produce).
 func Write(path string, meta Meta, db *core.EncryptedDB) error {
+	return WriteFS(OSFS{}, path, meta, db)
+}
+
+// WriteFS is Write over an explicit filesystem. Every step of the
+// tmp+fsync+rename+dirsync sequence announces a named crash point
+// first, so a fault-injecting FS can simulate the process dying at any
+// of them; the crash-point matrix test requires recovery to be correct
+// after every one.
+func WriteFS(fsys FS, path string, meta Meta, db *core.EncryptedDB) error {
 	if err := checkWritable(meta, db); err != nil {
 		return err
 	}
+	if err := fsys.Crash(CrashWriteTmpCreate); err != nil {
+		return err
+	}
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	// Best-effort cleanup on any failure below; harmless after rename.
-	defer os.Remove(tmp)
-
-	if err := writeTo(f, meta, db); err != nil {
+	defer fsys.Remove(tmp) //nolint:errcheck // best-effort cleanup
+	if err := writeTo(fsys, f, meta, db); err != nil {
+		f.Close()
+		return err
+	}
+	if err := fsys.Crash(CrashWriteSync); err != nil {
 		f.Close()
 		return err
 	}
@@ -38,13 +53,25 @@ func Write(path string, meta Meta, db *core.EncryptedDB) error {
 		f.Close()
 		return err
 	}
+	if err := fsys.Crash(CrashWriteClose); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Crash(CrashWriteRename); err != nil {
 		return err
 	}
-	syncDir(filepath.Dir(path))
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	// A crash here loses only the directory sync: the rename is done, so
+	// recovery adopts the (unacknowledged but complete) segment.
+	if err := fsys.Crash(CrashWriteDirsync); err != nil {
+		return err
+	}
+	fsys.SyncDir(filepath.Dir(path)) //nolint:errcheck // advisory durability barrier
 	return nil
 }
 
@@ -70,16 +97,31 @@ func checkWritable(meta Meta, db *core.EncryptedDB) error {
 	return nil
 }
 
+// crashFlush flushes the buffered writer, then announces a crash point:
+// a simulated crash must leave exactly the bytes written so far on disk
+// (the torn state the recovery scan will face), so the buffer cannot be
+// allowed to hide them.
+func crashFlush(fsys FS, w *bufio.Writer, point string) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return fsys.Crash(point)
+}
+
 // writeTo streams header, name, planes and footer.
-func writeTo(f *os.File, meta Meta, db *core.EncryptedDB) error {
+func writeTo(fsys FS, f File, meta Meta, db *core.EncryptedDB) error {
 	w := bufio.NewWriterSize(f, 1<<20)
 	head := encodeHeader(meta)
 	if _, err := w.Write(head); err != nil {
 		return err
 	}
 	headCRC := crc64.Checksum(head, crcTable)
+	if err := crashFlush(fsys, w, CrashWriteHeader); err != nil {
+		return err
+	}
 
 	var planeCRC [2]uint64
+	planePoints := [2]string{CrashWritePlane0, CrashWritePlane1}
 	if arena := db.Arena(); arena != nil && nativeLittleEndian {
 		// Compacted database on a little-endian host: the arena already
 		// is the file's plane bytes — two bulk writes, no re-encoding.
@@ -88,6 +130,9 @@ func writeTo(f *os.File, meta Meta, db *core.EncryptedDB) error {
 			plane := u64Bytes(arena[p*words : (p+1)*words])
 			planeCRC[p] = crc64.Checksum(plane, crcTable)
 			if _, err := w.Write(plane); err != nil {
+				return err
+			}
+			if err := crashFlush(fsys, w, planePoints[p]); err != nil {
 				return err
 			}
 		}
@@ -105,6 +150,9 @@ func writeTo(f *os.File, meta Meta, db *core.EncryptedDB) error {
 				}
 			}
 			planeCRC[p] = crc.Sum64()
+			if err := crashFlush(fsys, w, planePoints[p]); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -116,16 +164,5 @@ func writeTo(f *os.File, meta Meta, db *core.EncryptedDB) error {
 	if _, err := w.Write(foot[:]); err != nil {
 		return err
 	}
-	return w.Flush()
-}
-
-// syncDir fsyncs a directory so a just-renamed entry is durable. Best
-// effort: some platforms cannot open or sync directories.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync() //nolint:errcheck // advisory durability barrier
-	d.Close()
+	return crashFlush(fsys, w, CrashWriteFooter)
 }
