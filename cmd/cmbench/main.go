@@ -102,6 +102,9 @@ func writeEngineBench(path, baseline string) error {
 	if report.Storm, err = harness.RunStormBench(0, 0); err != nil {
 		return err
 	}
+	if report.TraceOverhead, err = harness.RunTraceOverheadBench(); err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -126,6 +129,14 @@ func writeEngineBench(path, baseline string) error {
 		fmt.Printf("storm        %d conns %10.0f qps unbatched %10.0f qps coalesced (%+.1f%%) occupancy %.2f  %.1f streams/query (solo %d)\n",
 			s.Conns, s.BaselineQPS, s.QPS, s.SpeedupPct, s.BatchOccupancyMean,
 			s.ChunkStreamsPerQuery, s.UnbatchedChunkStreamsPerQuery)
+		for _, st := range s.Stages {
+			fmt.Printf("storm-stage  %-14s %8d samples %9.3f ms mean %9.3f ms p95\n",
+				st.Stage, st.Count, st.MeanMs, st.P95Ms)
+		}
+	}
+	if to := report.TraceOverhead; to != nil {
+		fmt.Printf("trace-tax    %8.0f ns record vs %10.0f ns serial search = %.3f%% (%d allocs/op)\n",
+			to.TraceNsPerOp, to.SearchNsPerOp, to.OverheadPct, to.TraceAllocs)
 	}
 	if baseline != "" {
 		old, err := harness.ReadEngineBenchReport(baseline)

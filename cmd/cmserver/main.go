@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -70,7 +71,9 @@ func main() {
 	batchwindow := flag.Duration("batchwindow", 0, "max server-side coalescing delay, e.g. 200us (0 = coalescing off)")
 	maxbatch := flag.Int("maxbatch", 0, "coalesced batch fires at this many pending queries (0 = default 16)")
 	maxqueue := flag.Int("maxqueue", 0, "per-database pending-query cap before overload rejection (0 = 16x maxbatch)")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-format metrics over HTTP at this address (empty = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-format metrics, /traces and pprof over HTTP at this address (empty = off)")
+	traceBuf := flag.Int("trace-buf", 0, "request-trace ring capacity, recent and slow each (0 = default 4096)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "requests at least this slow are captured in the slow-trace ring (0 = default 50ms)")
 	scrub := flag.Duration("scrub", 0, "background segment-scrub interval re-verifying resident plane CRCs, e.g. 1m (requires -datadir; 0 = off)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-connection read deadline between requests (0 = none)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-connection reply write deadline (0 = none)")
@@ -113,6 +116,9 @@ func main() {
 		os.Exit(1)
 	}
 	srv.SetTimeouts(*readTimeout, *writeTimeout)
+	if *traceBuf > 0 || *slowThreshold > 0 {
+		srv.SetTracing(*traceBuf, *slowThreshold)
+	}
 	if inj != nil {
 		inj.Bind(srv.Metrics()) // fault_*_total next to the absorption counters
 	}
@@ -124,8 +130,17 @@ func main() {
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.Metrics().Handler())
+		mux.Handle("/traces", srv.Traces().Handler())
+		mux.Handle("/traces/slow", srv.Traces().SlowHandler())
+		// The standard pprof endpoints, on the sidecar mux rather than
+		// DefaultServeMux so nothing is served by accident.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go http.Serve(ml, mux) //nolint:errcheck // best-effort sidecar
-		fmt.Printf("cmserver: metrics on http://%s/metrics\n", ml.Addr())
+		fmt.Printf("cmserver: metrics on http://%s/metrics, traces on /traces and /traces/slow, pprof on /debug/pprof\n", ml.Addr())
 	}
 	if dir := srv.Store().Dir(); dir != nil {
 		n := len(srv.Store().List())

@@ -104,6 +104,19 @@ func main() {
 		rep.ServerQueries, rep.Batches, rep.CoalesceRate, rep.BatchOccupancyMean)
 	fmt.Printf("  arena: %.1f chunk streams/query vs %d unbatched, %d streams saved\n",
 		rep.ChunkStreamsPerQuery, rep.UnbatchedChunkStreamsPerQuery, rep.ChunkStreamsSaved)
+	if len(rep.Stages) > 0 {
+		fmt.Printf("  stage latency (ms, %d trace samples, %d client-correlated):\n",
+			rep.TraceSamples, rep.TraceCorrelated)
+		fmt.Printf("    %-14s %8s %9s %9s %9s %9s\n", "stage", "count", "mean", "p50", "p95", "p99")
+		for _, st := range rep.Stages {
+			fmt.Printf("    %-14s %8d %9.3f %9.3f %9.3f %9.3f\n",
+				st.Stage, st.Count, st.MeanMs, st.P50Ms, st.P95Ms, st.P99Ms)
+		}
+	}
+	for _, ts := range rep.Tenants {
+		fmt.Printf("  tenant %-24s %6d queries %4d errors  p50 %.2f p95 %.2f p99 %.2f ms (%d samples)\n",
+			ts.DB, ts.Queries, ts.Errors, ts.P50Ms, ts.P95Ms, ts.P99Ms, ts.TraceSamples)
+	}
 
 	if *jsonOut != "" {
 		out := os.Stdout

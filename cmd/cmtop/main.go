@@ -1,0 +1,173 @@
+// Command cmtop is a polling terminal dashboard for a live cmserver:
+// it samples the serving stats, the database listing, and the trace
+// flight recorder over the wire protocol (MsgStats, MsgListDBs,
+// MsgTraceDump) and renders per-tenant query rates, request-lifecycle
+// stage latencies, database residency, and the newest slow queries.
+// It needs no key material — everything it shows is the server's own
+// telemetry.
+//
+// Usage:
+//
+//	cmtop -addr localhost:7448
+//	cmtop -addr localhost:7448 -interval 1s
+//	cmtop -addr localhost:7448 -once        # one snapshot, no screen clearing (CI)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/metrics"
+	"ciphermatch/internal/proto"
+	"ciphermatch/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7448", "cmserver address")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	slowN := flag.Int("slow", 5, "slow traces to show")
+	flag.Parse()
+
+	conn, err := proto.Dial(*addr, bfv.ParamsPaper())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmtop: dial:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	var prev map[string]int64
+	var prevAt time.Time
+	for {
+		kvs, err := conn.ServerStats()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmtop: stats:", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		cur := kvMap(kvs)
+		dbs, err := conn.ListDBs()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmtop: list:", err)
+			os.Exit(1)
+		}
+		// A pre-tracing server answers the dump with MsgError; the
+		// dashboard then runs without the slow-trace pane.
+		slow, _ := conn.TraceDump(*slowN, true)
+
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(*addr, cur, prev, now, prevAt, dbs, slow)
+		if *once {
+			return
+		}
+		prev, prevAt = cur, now
+		time.Sleep(*interval)
+	}
+}
+
+func kvMap(kvs []metrics.KV) map[string]int64 {
+	m := make(map[string]int64, len(kvs))
+	for _, kv := range kvs {
+		m[kv.Name] = kv.Value
+	}
+	return m
+}
+
+// labelValues collects the label values present for family{key="..."},
+// e.g. the tenant names behind tenant_queries_total.
+func labelValues(m map[string]int64, family, key string) []string {
+	prefix := family + "{" + key + "=\""
+	var out []string
+	for name := range m {
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, "\"}") {
+			out = append(out, name[len(prefix):len(name)-2])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func labeled(m map[string]int64, family, key, value string) int64 {
+	return m[family+"{"+key+"=\""+value+"\"}"]
+}
+
+func render(addr string, cur, prev map[string]int64, now, prevAt time.Time,
+	dbs []proto.DBInfo, slow []trace.Trace) {
+	rate := func(name string) string {
+		if prev == nil {
+			return "-"
+		}
+		dt := now.Sub(prevAt).Seconds()
+		if dt <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(cur[name]-prev[name])/dt)
+	}
+
+	fmt.Printf("cmtop — %s — %s\n\n", addr, now.Format("15:04:05"))
+	fmt.Printf("serving: %d queries (%s qps), %d errors, %d rejected, %d batches | %d goroutines, %.1f MiB heap, %d GCs\n",
+		cur["queries_total"], rate("queries_total"), cur["errors_total"], cur["rejected_total"],
+		cur["batches_total"], cur["go_goroutines"], float64(cur["go_heap_alloc_bytes"])/(1<<20),
+		cur["go_gc_cycles_total"])
+	fmt.Printf("traces:  %d recorded, %d slow\n\n", cur["request_latency_ns_count"], cur["traces_slow_total"])
+
+	fmt.Printf("%-14s %10s %10s %10s %10s\n", "stage", "count", "p50 ms", "p95 ms", "p99 ms")
+	for _, st := range trace.StageNames() {
+		count := labeled(cur, "stage_latency_ns_count", "stage", st)
+		if count == 0 {
+			continue
+		}
+		fmt.Printf("%-14s %10d %10.3f %10.3f %10.3f\n", st, count,
+			float64(labeled(cur, "stage_latency_ns_p50", "stage", st))/1e6,
+			float64(labeled(cur, "stage_latency_ns_p95", "stage", st))/1e6,
+			float64(labeled(cur, "stage_latency_ns_p99", "stage", st))/1e6)
+	}
+
+	tenants := labelValues(cur, "tenant_queries_total", "db")
+	if len(tenants) > 0 {
+		fmt.Printf("\n%-24s %10s %8s %8s %8s %10s\n", "tenant", "queries", "qps", "errors", "depth", "p95 ms")
+		for _, tn := range tenants {
+			fmt.Printf("%-24s %10d %8s %8d %8d %10.3f\n", tn,
+				labeled(cur, "tenant_queries_total", "db", tn),
+				rate(`tenant_queries_total{db="`+tn+`"}`),
+				labeled(cur, "tenant_errors_total", "db", tn),
+				labeled(cur, "tenant_queue_depth", "db", tn),
+				float64(labeled(cur, "tenant_latency_ns_p95", "db", tn))/1e6)
+		}
+	}
+
+	if len(dbs) > 0 {
+		fmt.Printf("\n%-24s %-10s %-18s %8s %10s\n", "db", "state", "engine", "chunks", "searches")
+		for _, db := range dbs {
+			fmt.Printf("%-24s %-10s %-18s %8d %10d\n", db.Name, db.State, db.Engine, db.Chunks, db.Searches)
+		}
+	}
+
+	if len(slow) > 0 {
+		fmt.Printf("\nslow traces (newest first):\n")
+		for i := range slow {
+			tr := &slow[i]
+			fmt.Printf("  id=%#016x tenant=%-16s total=%8.2fms arena=%8.2fms wait=%8.2fms batch=%d%s%s\n",
+				tr.ID, tr.Tenant, float64(tr.TotalNS)/1e6,
+				float64(tr.StageNS[trace.StageArena])/1e6,
+				float64(tr.StageNS[trace.StageCoalesceWait])/1e6,
+				tr.Batch,
+				flagStr(tr.Flags&trace.FlagCoalesced, " coalesced"),
+				flagStr(tr.Flags&trace.FlagError, " ERROR"))
+		}
+	}
+}
+
+func flagStr(set uint8, s string) string {
+	if set != 0 {
+		return s
+	}
+	return ""
+}

@@ -50,6 +50,10 @@ type EngineBenchReport struct {
 	// Storm is the serving-path scenario: the fixture under concurrent
 	// same-database clients, coalescing off vs on (see RunStormBench).
 	Storm *StormBenchResult `json:"storm,omitempty"`
+	// TraceOverhead is the request-lifecycle tracing tax relative to a
+	// serial hot-path search (see RunTraceOverheadBench); the budget is
+	// under 2%.
+	TraceOverhead *TraceOverheadResult `json:"trace_overhead,omitempty"`
 }
 
 // DefaultEngineBenchSpecs mirrors the BenchmarkEngine sub-benchmarks.

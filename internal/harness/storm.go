@@ -13,6 +13,7 @@ import (
 	"ciphermatch/internal/metrics"
 	"ciphermatch/internal/proto"
 	"ciphermatch/internal/rng"
+	"ciphermatch/internal/trace"
 )
 
 // StormTarget is one database a storm hammers: its name on the server
@@ -85,6 +86,39 @@ type StormReport struct {
 	// coalescing must push the former strictly below the latter.
 	ChunkStreamsPerQuery          float64 `json:"chunk_streams_per_query"`
 	UnbatchedChunkStreamsPerQuery int64   `json:"unbatched_chunk_streams_per_query"`
+
+	// Per-stage latency attribution from the server's trace flight
+	// recorder, sampled at the end of the run (the newest ring
+	// contents — a tail sample of the storm, not every request).
+	TraceSamples    int               `json:"trace_samples,omitempty"`
+	TraceCorrelated int               `json:"trace_correlated,omitempty"` // samples carrying a storm-minted client trace ID
+	Stages          []StormStageStats `json:"stages,omitempty"`
+	// Per-tenant serving telemetry: query/error counts from the
+	// server's labeled /metrics deltas, latency quantiles from its
+	// trace samples.
+	Tenants []StormTenantStats `json:"tenants,omitempty"`
+}
+
+// StormStageStats summarises one request-lifecycle stage across the
+// run's trace samples.
+type StormStageStats struct {
+	Stage  string  `json:"stage"`
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// StormTenantStats is one tenant's slice of the storm.
+type StormTenantStats struct {
+	DB           string  `json:"db"`
+	Queries      int64   `json:"queries"` // server-side tenant_queries_total delta
+	Errors       int64   `json:"errors"`  // server-side tenant_errors_total delta
+	TraceSamples int64   `json:"trace_samples"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
 }
 
 func (c StormConfig) withDefaults() StormConfig {
@@ -186,6 +220,10 @@ func RunStorm(cfg StormConfig) (*StormReport, error) {
 				policy.Seed = fmt.Sprintf("%s/conn%d", cfg.Retry.Seed, c)
 				conn.SetRetry(policy)
 			}
+			// Per-connection trace ID bases partition the 64-bit space, so
+			// every storm request is client-correlated in the server's
+			// flight recorder without coordination between connections.
+			conn.EnableTracing(uint64(c+1) << 48)
 			defer func() {
 				rs := conn.RetryStats()
 				retries.Add(rs.Retries)
@@ -266,7 +304,68 @@ func RunStorm(cfg StormConfig) (*StormReport, error) {
 	if occBatches := statDelta(before, after, "batch_occupancy_count"); occBatches > 0 {
 		rep.BatchOccupancyMean = float64(statDelta(before, after, "batch_occupancy_sum")) / float64(occBatches)
 	}
+
+	// Stage-level attribution from the server's flight recorder. A
+	// pre-tracing server answers MsgTraceDump with MsgError; the report
+	// then simply omits the breakdown rather than failing the storm.
+	if dump, err := ctrl.TraceDump(0, false); err == nil {
+		rep.addTraceBreakdown(cfg, before, after, dump)
+	}
 	return rep, nil
+}
+
+// addTraceBreakdown folds the server's trace samples into per-stage and
+// per-tenant latency summaries, pairing them with the labeled
+// per-tenant counter deltas from the /metrics snapshots.
+func (rep *StormReport) addTraceBreakdown(cfg StormConfig, before, after []metrics.KV, dump []trace.Trace) {
+	rep.TraceSamples = len(dump)
+	var stageH [trace.NumStages]metrics.Histogram
+	tenantH := make(map[string]*metrics.Histogram, len(cfg.Targets))
+	for i := range dump {
+		tr := &dump[i]
+		for s, ns := range tr.StageNS {
+			if ns > 0 {
+				stageH[s].Observe(ns)
+			}
+		}
+		if tr.Flags&trace.FlagClientID != 0 {
+			rep.TraceCorrelated++
+		}
+		h := tenantH[tr.Tenant]
+		if h == nil {
+			h = &metrics.Histogram{}
+			tenantH[tr.Tenant] = h
+		}
+		h.Observe(tr.TotalNS)
+	}
+	for s := range stageH {
+		h := &stageH[s]
+		if h.Count() == 0 {
+			continue
+		}
+		rep.Stages = append(rep.Stages, StormStageStats{
+			Stage:  trace.Stage(s).String(),
+			Count:  h.Count(),
+			MeanMs: float64(h.Sum()) / float64(h.Count()) / 1e6,
+			P50Ms:  float64(h.Quantile(0.50)) / 1e6,
+			P95Ms:  float64(h.Quantile(0.95)) / 1e6,
+			P99Ms:  float64(h.Quantile(0.99)) / 1e6,
+		})
+	}
+	for _, tgt := range cfg.Targets {
+		ts := StormTenantStats{
+			DB:      tgt.DB,
+			Queries: statDelta(before, after, `tenant_queries_total{db="`+tgt.DB+`"}`),
+			Errors:  statDelta(before, after, `tenant_errors_total{db="`+tgt.DB+`"}`),
+		}
+		if h := tenantH[tgt.DB]; h != nil {
+			ts.TraceSamples = h.Count()
+			ts.P50Ms = float64(h.Quantile(0.50)) / 1e6
+			ts.P95Ms = float64(h.Quantile(0.95)) / 1e6
+			ts.P99Ms = float64(h.Quantile(0.99)) / 1e6
+		}
+		rep.Tenants = append(rep.Tenants, ts)
+	}
 }
 
 func equalCandidates(a, b []int) bool {

@@ -57,4 +57,33 @@ func TestRunStormSmoke(t *testing.T) {
 	if rep.LatMaxMs <= 0 || rep.QPS <= 0 {
 		t.Fatalf("degenerate latency/throughput: max=%.3fms qps=%.1f", rep.LatMaxMs, rep.QPS)
 	}
+
+	// Stage-latency attribution: the storm must come back with trace
+	// samples covering the pipeline stages, all client-correlated
+	// (every storm connection mints trace IDs), and the per-tenant
+	// breakdown must account for the tenant's queries.
+	if rep.TraceSamples == 0 || rep.TraceCorrelated != rep.TraceSamples {
+		t.Fatalf("trace samples = %d, correlated = %d", rep.TraceSamples, rep.TraceCorrelated)
+	}
+	stages := map[string]bool{}
+	for _, st := range rep.Stages {
+		if st.Count <= 0 || st.MeanMs < 0 {
+			t.Fatalf("degenerate stage stats: %+v", st)
+		}
+		stages[st.Stage] = true
+	}
+	for _, want := range []string{"read", "decode", "coalesce_wait", "arena", "encode", "write"} {
+		if !stages[want] {
+			t.Fatalf("stage %q missing from storm breakdown %v", want, rep.Stages)
+		}
+	}
+	if len(rep.Tenants) != 1 || rep.Tenants[0].DB != tgt.DB {
+		t.Fatalf("tenant breakdown = %+v", rep.Tenants)
+	}
+	if got := rep.Tenants[0].Queries; got != rep.Queries {
+		t.Fatalf("tenant_queries_total delta %d != client queries %d", got, rep.Queries)
+	}
+	if rep.Tenants[0].TraceSamples == 0 || rep.Tenants[0].P95Ms <= 0 {
+		t.Fatalf("tenant latency sample missing: %+v", rep.Tenants[0])
+	}
 }

@@ -36,6 +36,10 @@ type StormBenchResult struct {
 	ChunkStreamsSaved             int64   `json:"chunk_streams_saved"`
 	Errors                        int64   `json:"errors"`
 	WrongResults                  int64   `json:"wrong_results"`
+
+	// Stages is the coalesced run's per-stage latency attribution from
+	// the server's trace flight recorder (see StormReport.Stages).
+	Stages []StormStageStats `json:"stages,omitempty"`
 }
 
 // StormBenchWindow is the coalescing window the serving bench runs
@@ -134,6 +138,7 @@ func RunStormBench(conns int, dur time.Duration) (*StormBenchResult, error) {
 		ChunkStreamsSaved:             coal.ChunkStreamsSaved,
 		Errors:                        base.Errors + coal.Errors,
 		WrongResults:                  base.WrongResults + coal.WrongResults,
+		Stages:                        coal.Stages,
 	}
 	if base.QPS > 0 {
 		res.SpeedupPct = 100 * (coal.QPS - base.QPS) / base.QPS

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label support: a Vec is a family of metrics sharing one name and one
+// label key, with one child per label value — counters split per tenant
+// database, histograms split per serving stage. Children are created on
+// first use (mutex-guarded, like the flat registry lookups) and the
+// returned handles record lock-free, so the hot path never touches the
+// family map after its handle is cached.
+//
+// Cardinality policy: label values must come from a bounded, server-
+// controlled set — database names (capped by MaxStoredDBs), the fixed
+// stage catalog, typed error classes, fault kinds. Never label by
+// anything a client can mint freely per request (trace IDs, offsets),
+// or the registry becomes an unbounded allocation amplifier. The store
+// enforces the tenant bound upstream (uploads beyond MaxStoredDBs are
+// refused), so every Vec in the server is finite by construction.
+
+// labeledName renders the canonical exposition-format sample name,
+// name{key="value"}, which doubles as the flat Snapshot key — labeled
+// samples travel over MsgStats as ordinary KV entries and any consumer
+// that does not care about labels can treat the whole string as a name.
+func labeledName(name, key, value string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len(key) + len(value) + 6)
+	b.WriteString(name)
+	b.WriteByte('{')
+	b.WriteString(key)
+	b.WriteString(`="`)
+	b.WriteString(escapeLabelValue(value))
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// CounterVec is a family of counters keyed by one label.
+type CounterVec struct {
+	name, key string
+	mu        sync.Mutex
+	children  map[string]*Counter
+}
+
+// With returns the child counter for the label value, creating it on
+// first use. Callers cache the handle; recording through it is
+// lock-free.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// GaugeVec is a family of gauges keyed by one label.
+type GaugeVec struct {
+	name, key string
+	mu        sync.Mutex
+	children  map[string]*Gauge
+}
+
+// With returns the child gauge for the label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[value]
+	if !ok {
+		g = &Gauge{}
+		v.children[value] = g
+	}
+	return g
+}
+
+// HistogramVec is a family of histograms keyed by one label.
+type HistogramVec struct {
+	name, key string
+	mu        sync.Mutex
+	children  map[string]*Histogram
+}
+
+// With returns the child histogram for the label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[value]
+	if !ok {
+		h = &Histogram{}
+		v.children[value] = h
+	}
+	return h
+}
+
+// CounterVec returns the named counter family with the given label key,
+// creating it on first use. A name must keep one label key for its
+// lifetime; reusing the name with a different key panics (it would
+// silently split one family into colliding exposition lines).
+func (r *Registry) CounterVec(name, key string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = &CounterVec{name: name, key: key, children: make(map[string]*Counter)}
+		r.counterVecs[name] = v
+	} else if v.key != key {
+		panic("metrics: counter family " + name + " registered with conflicting label keys")
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge family with the given label key,
+// creating it on first use.
+func (r *Registry) GaugeVec(name, key string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = &GaugeVec{name: name, key: key, children: make(map[string]*Gauge)}
+		r.gaugeVecs[name] = v
+	} else if v.key != key {
+		panic("metrics: gauge family " + name + " registered with conflicting label keys")
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family with the given label
+// key, creating it on first use.
+func (r *Registry) HistogramVec(name, key string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histVecs[name]
+	if !ok {
+		v = &HistogramVec{name: name, key: key, children: make(map[string]*Histogram)}
+		r.histVecs[name] = v
+	} else if v.key != key {
+		panic("metrics: histogram family " + name + " registered with conflicting label keys")
+	}
+	return v
+}
+
+// sortedChildren returns a Vec's (value, child) pairs ordered by label
+// value, for deterministic exposition and snapshots.
+func sortedChildren[V any](mu *sync.Mutex, children map[string]V) []struct {
+	Value string
+	Child V
+} {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]struct {
+		Value string
+		Child V
+	}, 0, len(children))
+	for v, c := range children {
+		out = append(out, struct {
+			Value string
+			Child V
+		}{v, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -122,12 +124,206 @@ func TestWritePrometheus(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE queries_total counter\nqueries_total 3\n",
 		"# TYPE coalesce_window_ns gauge\ncoalesce_window_ns 150\n",
-		"# TYPE queue_wait_ns summary\n",
-		`queue_wait_ns{quantile="0.99"}`,
+		"# TYPE queue_wait_ns histogram\n",
+		`queue_wait_ns_bucket{le="63"} 1`, // 42 has bitlen 6 → bucket [32,64)
+		`queue_wait_ns_bucket{le="+Inf"} 1`,
+		"queue_wait_ns_sum 42\n",
 		"queue_wait_ns_count 1\n",
+		"queue_wait_ns_p99 ",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestPrometheusCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns")
+	h.Observe(1)   // bucket 1, le=1
+	h.Observe(3)   // bucket 2, le=3
+	h.Observe(3)   // bucket 2
+	h.Observe(100) // bucket 7, le=127
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Buckets must be cumulative, cover every bucket up to the highest
+	// occupied one (empty intermediates included), and end at +Inf with
+	// the total count.
+	for _, want := range []string{
+		`lat_ns_bucket{le="1"} 1`,
+		`lat_ns_bucket{le="3"} 3`,
+		`lat_ns_bucket{le="7"} 3`,
+		`lat_ns_bucket{le="15"} 3`,
+		`lat_ns_bucket{le="127"} 4`,
+		`lat_ns_bucket{le="+Inf"} 4`,
+		"lat_ns_sum 107\n",
+		"lat_ns_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative counts must be monotonically non-decreasing in le order
+	// (this is what Prometheus histogram_quantile requires).
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_ns_bucket{") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+			t.Fatalf("unparsable bucket line %q", line)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	qv := r.CounterVec("tenant_queries_total", "db")
+	qv.With("alpha").Add(5)
+	qv.With("beta").Inc()
+	if qv.With("alpha") != qv.With("alpha") {
+		t.Fatal("With must return a stable child")
+	}
+	r.GaugeVec("tenant_queue_depth", "db").With("alpha").Set(3)
+	hv := r.HistogramVec("stage_latency_ns", "stage")
+	hv.With("arena").Observe(1000)
+	hv.With("decode").Observe(10)
+
+	kvs := r.Snapshot()
+	if v, ok := Lookup(kvs, `tenant_queries_total{db="alpha"}`); !ok || v != 5 {
+		t.Fatalf(`tenant_queries_total{db="alpha"} = %d (%v)`, v, ok)
+	}
+	if v, ok := Lookup(kvs, `tenant_queue_depth{db="alpha"}`); !ok || v != 3 {
+		t.Fatalf("labeled gauge = %d (%v)", v, ok)
+	}
+	if v, ok := Lookup(kvs, `stage_latency_ns_count{stage="arena"}`); !ok || v != 1 {
+		t.Fatalf("labeled hist count = %d (%v)", v, ok)
+	}
+	if _, ok := Lookup(kvs, `stage_latency_ns_p95{stage="decode"}`); !ok {
+		t.Fatal("labeled hist percentile missing from snapshot")
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE tenant_queries_total counter\n",
+		`tenant_queries_total{db="alpha"} 5`,
+		`tenant_queries_total{db="beta"} 1`,
+		`tenant_queue_depth{db="alpha"} 3`,
+		"# TYPE stage_latency_ns histogram\n",
+		`stage_latency_ns_bucket{stage="arena",le="+Inf"} 1`,
+		`stage_latency_ns_sum{stage="arena"} 1000`,
+		`stage_latency_ns_count{stage="decode"} 1`,
+		`stage_latency_ns_p50{stage="decode"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The TYPE header must appear once per family, not once per child.
+	if strings.Count(out, "# TYPE tenant_queries_total counter") != 1 {
+		t.Fatalf("duplicate TYPE headers:\n%s", out)
+	}
+}
+
+func TestVecKeyConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("x_total", "db")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting label key must panic")
+		}
+	}()
+	r.CounterVec("x_total", "stage")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := labeledName("m", "db", "a\\b\"c\nd")
+	want := `m{db="a\\b\"c\nd"}`
+	if got != want {
+		t.Fatalf("labeledName = %q, want %q", got, want)
+	}
+	if escapeLabelValue("plain") != "plain" {
+		t.Fatal("plain values must pass through unchanged")
+	}
+}
+
+func TestBucketUpperAndQuantileOf(t *testing.T) {
+	if BucketUpper(0) != 0 || BucketUpper(1) != 1 || BucketUpper(7) != 127 {
+		t.Fatalf("BucketUpper wrong: %d %d %d", BucketUpper(0), BucketUpper(1), BucketUpper(7))
+	}
+	if BucketUpper(63) != math.MaxInt64 {
+		t.Fatalf("BucketUpper(63) = %d", BucketUpper(63))
+	}
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000)
+	}
+	b := h.Buckets()
+	p50 := QuantileOf(b, 0.50)
+	if p50 < 100 || p50 > 255 {
+		t.Fatalf("QuantileOf p50 = %d", p50)
+	}
+	p99 := QuantileOf(b, 0.99)
+	if p99 < 100000 || p99 > (1<<17)-1 {
+		t.Fatalf("QuantileOf p99 = %d", p99)
+	}
+	// Delta use: subtract a prior snapshot and quantile the interval.
+	before := b
+	for i := 0; i < 100; i++ {
+		h.Observe(1_000_000)
+	}
+	after := h.Buckets()
+	var delta [64]int64
+	for i := range delta {
+		delta[i] = after[i] - before[i]
+	}
+	dp50 := QuantileOf(delta, 0.50)
+	if dp50 < 1_000_000 || dp50 > (1<<20)-1 {
+		t.Fatalf("interval p50 = %d", dp50)
+	}
+	if QuantileOf([64]int64{}, 0.5) != 0 {
+		t.Fatal("empty delta must quantile to 0")
+	}
+}
+
+func TestOnCollectAndRuntime(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	g := r.Gauge("pull_me")
+	r.OnCollect(func() { calls++; g.Set(int64(calls)) })
+	kvs := r.Snapshot()
+	if v, _ := Lookup(kvs, "pull_me"); v != 1 {
+		t.Fatalf("collect hook did not run before snapshot: %d", v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("collect hook ran %d times, want 2", calls)
+	}
+
+	RegisterRuntime(r)
+	kvs = r.Snapshot()
+	if v, ok := Lookup(kvs, "go_goroutines"); !ok || v < 1 {
+		t.Fatalf("go_goroutines = %d (%v)", v, ok)
+	}
+	if v, ok := Lookup(kvs, "go_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Fatalf("go_heap_alloc_bytes = %d (%v)", v, ok)
 	}
 }

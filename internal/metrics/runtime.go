@@ -1,0 +1,37 @@
+package metrics
+
+import "runtime"
+
+// RegisterRuntime wires Go runtime health gauges into the registry via
+// a collect hook, so every /metrics scrape and MsgStats reply carries a
+// fresh sample without any background goroutine:
+//
+//	go_goroutines          live goroutine count
+//	go_heap_alloc_bytes    bytes of allocated heap objects
+//	go_heap_sys_bytes      heap memory obtained from the OS
+//	go_gc_cycles_total     completed GC cycles
+//	go_gc_pause_last_ns    duration of the most recent GC stop-the-world
+//	go_gc_pause_total_ns   cumulative GC pause time
+//
+// ReadMemStats stops the world briefly (microseconds); scrape-driven
+// sampling keeps that off the request path entirely.
+func RegisterRuntime(r *Registry) {
+	goroutines := r.Gauge("go_goroutines")
+	heapAlloc := r.Gauge("go_heap_alloc_bytes")
+	heapSys := r.Gauge("go_heap_sys_bytes")
+	gcCycles := r.Gauge("go_gc_cycles_total")
+	gcPauseLast := r.Gauge("go_gc_pause_last_ns")
+	gcPauseTotal := r.Gauge("go_gc_pause_total_ns")
+	r.OnCollect(func() {
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		gcCycles.Set(int64(ms.NumGC))
+		if ms.NumGC > 0 {
+			gcPauseLast.Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+		}
+		gcPauseTotal.Set(int64(ms.PauseTotalNs))
+	})
+}

@@ -27,7 +27,14 @@ import (
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/core"
 	"ciphermatch/internal/metrics"
+	"ciphermatch/internal/trace"
 )
+
+// unknownTenantLabel is the shared label value for metrics attributed
+// to database names the store does not host: client-minted names must
+// never become label values (see the cardinality policy in
+// internal/metrics), so they all collapse into this one child.
+const unknownTenantLabel = "_other"
 
 // ErrOverloaded is the admission-control rejection: the target
 // database's coalescing queue is at its depth cap. The wire maps it to
@@ -89,6 +96,12 @@ type pendingQuery struct {
 	raw      []byte // encoded query, name already stripped
 	enqueued time.Time
 	done     chan coalesceResult // buffered(1); exactly one send
+	// tr is the request's lifecycle trace (nil when untraced). The
+	// executor stamps decode/coalesce-wait/batch-form/arena and the
+	// per-member arena attribution into it strictly before sending on
+	// done, and the connection handler reads it strictly after receiving
+	// — the channel is the synchronisation edge.
+	tr *trace.Trace
 }
 
 // dbQueue is the per-database batching state. pending accumulates until
@@ -96,6 +109,14 @@ type pendingQuery struct {
 // list; an executor then takes up to MaxBatch entries in one swap.
 type dbQueue struct {
 	name string
+
+	// Per-tenant serving telemetry handles, resolved once when the queue
+	// is created (one labeled-family lookup per active tenant, not per
+	// query). depth tracks the live pending count; rejected counts
+	// admission rejections; occupancy observes batch sizes.
+	depth     *metrics.Gauge
+	rejected  *metrics.Counter
+	occupancy *metrics.Histogram
 
 	mu      sync.Mutex
 	pending []*pendingQuery
@@ -150,8 +171,20 @@ func NewCoalescer(store *Store, params bfv.Params, cfg CoalesceConfig, met *serv
 // the sequential path). Rejects with ErrOverloaded when the database's
 // queue is at its depth cap.
 func (co *Coalescer) SearchRaw(name string, raw []byte) ([]int, error) {
-	pq := &pendingQuery{raw: raw, enqueued: time.Now(), done: make(chan coalesceResult, 1)}
-	if err := co.enqueue(name, pq); err != nil {
+	return co.SearchRawTraced(name, raw, nil)
+}
+
+// SearchRawTraced is SearchRaw carrying the request's lifecycle trace
+// (nil disables tracing): admission is stamped here, and the executor
+// stamps the window wait, batch formation, the shared decode and the
+// arena pass into tr before the result is fanned back.
+func (co *Coalescer) SearchRawTraced(name string, raw []byte, tr *trace.Trace) ([]int, error) {
+	pq := &pendingQuery{raw: raw, enqueued: time.Now(), done: make(chan coalesceResult, 1), tr: tr}
+	err := co.enqueue(name, pq)
+	if tr != nil {
+		tr.Stamp(trace.StageAdmission, int64(time.Since(pq.enqueued)))
+	}
+	if err != nil {
 		return nil, err
 	}
 	res := <-pq.done
@@ -170,7 +203,20 @@ func (co *Coalescer) enqueue(name string, pq *pendingQuery) error {
 		}
 		q, ok := co.queues[name]
 		if !ok {
-			q = &dbQueue{name: name}
+			// Label-cardinality guard: only names the store actually hosts
+			// (bounded by MaxStoredDBs) become label values; queries against
+			// arbitrary client-minted names share one "_other" child, so a
+			// hostile peer cannot grow the registry without bound.
+			label := name
+			if !co.store.Has(name) {
+				label = unknownTenantLabel
+			}
+			q = &dbQueue{
+				name:      name,
+				depth:     co.met.tenantDepth.With(label),
+				rejected:  co.met.tenantRejected.With(label),
+				occupancy: co.met.tenantOccupancy.With(label),
+			}
 			co.queues[name] = q
 		}
 		co.mu.Unlock()
@@ -185,6 +231,7 @@ func (co *Coalescer) enqueue(name string, pq *pendingQuery) error {
 		if len(q.pending) >= co.cfg.MaxQueue {
 			q.mu.Unlock()
 			co.met.rejected.Inc()
+			q.rejected.Inc()
 			return ErrOverloaded
 		}
 		now := pq.enqueued
@@ -199,6 +246,7 @@ func (co *Coalescer) enqueue(name string, pq *pendingQuery) error {
 		q.lastArrival = now
 		q.pending = append(q.pending, pq)
 		n := len(q.pending)
+		q.depth.Set(int64(n))
 		var window time.Duration
 		if n == 1 {
 			// First query of a new batch: open the window.
@@ -306,7 +354,7 @@ func (co *Coalescer) runExecutor() {
 			co.reapIfEmpty(q)
 			continue
 		}
-		co.executeSafe(q.name, batch)
+		co.executeSafe(q, batch)
 		co.reapIfEmpty(q)
 	}
 }
@@ -329,6 +377,7 @@ func (co *Coalescer) takeBatch(q *dbQueue) []*pendingQuery {
 		q.pending = rest
 	}
 	q.gen++ // any armed timer is now stale
+	q.depth.Set(int64(len(q.pending)))
 	if q.timer != nil {
 		q.timer.Stop()
 		q.timer = nil
@@ -372,7 +421,7 @@ func (g *queryGroup) fan(res coalesceResult) {
 // batch kernels or the store poisons only this window — every member
 // that has not been answered yet gets a typed server-fault error, the
 // executor survives, and the waiting connections are never stranded.
-func (co *Coalescer) executeSafe(name string, batch []*pendingQuery) {
+func (co *Coalescer) executeSafe(q *dbQueue, batch []*pendingQuery) {
 	defer func() {
 		if r := recover(); r == nil {
 			return
@@ -388,7 +437,29 @@ func (co *Coalescer) executeSafe(name string, batch []*pendingQuery) {
 			}
 		}
 	}()
-	co.execute(name, batch)
+	co.execute(q, batch)
+}
+
+// stampMembers adds ns to stage s on every traced member of a group.
+func stampMembers(members []*pendingQuery, s trace.Stage, ns int64) {
+	for _, pq := range members {
+		if pq.tr != nil {
+			pq.tr.Stamp(s, ns)
+		}
+	}
+}
+
+// attributeArena records the arena work a search performed into every
+// traced member of a group: a coalesced member's trace carries the full
+// stats of the evaluation that produced its answer (shared across the
+// group, like the shared decode).
+func attributeArena(members []*pendingQuery, stats core.Stats) {
+	for _, pq := range members {
+		if pq.tr != nil {
+			pq.tr.ChunkStreams = stats.ChunkStreams
+			pq.tr.HomAdds = int64(stats.HomAdds)
+		}
+	}
 }
 
 // execute runs one coalesced batch through the store's batched search
@@ -398,13 +469,23 @@ func (co *Coalescer) executeSafe(name string, batch []*pendingQuery) {
 // occupies one batch slot. On a batch-level error it falls back to
 // per-group sequential searches so one malformed query cannot poison
 // the whole window's innocents (their errors stay their own).
-func (co *Coalescer) execute(name string, batch []*pendingQuery) {
+func (co *Coalescer) execute(q *dbQueue, batch []*pendingQuery) {
+	name := q.name
 	start := time.Now()
 	for _, pq := range batch {
-		co.met.queueWait.Observe(int64(start.Sub(pq.enqueued)))
+		wait := int64(start.Sub(pq.enqueued))
+		co.met.queueWait.Observe(wait)
+		if pq.tr != nil {
+			pq.tr.Stamp(trace.StageCoalesceWait, wait)
+			pq.tr.Batch = int32(len(batch))
+			if len(batch) > 1 {
+				pq.tr.Flags |= trace.FlagCoalesced
+			}
+		}
 	}
 	co.met.batches.Inc()
 	co.met.occupancy.Observe(int64(len(batch)))
+	q.occupancy.Observe(int64(len(batch)))
 	if len(batch) > 1 {
 		co.met.coalesced.Add(int64(len(batch)))
 	}
@@ -424,11 +505,19 @@ func (co *Coalescer) execute(name string, batch []*pendingQuery) {
 		byPayload[string(pq.raw)] = g
 		groups = append(groups, g)
 	}
+	formed := time.Now()
+	stampMembers(batch, trace.StageBatchForm, int64(formed.Sub(start)))
 
 	// Decode once per group. A group that fails to decode fails alone.
+	// Each member's trace carries its group's shared decode time — the
+	// coalesced counterpart of the direct path's decode stage.
 	live := groups[:0]
+	decodeStart := formed
 	for _, g := range groups {
 		q, err := DecodeQuery(g.members[0].raw, co.params)
+		decodeEnd := time.Now()
+		stampMembers(g.members, trace.StageDecode, int64(decodeEnd.Sub(decodeStart)))
+		decodeStart = decodeEnd
 		if err != nil {
 			co.met.failed.Add(int64(len(g.members)))
 			g.fan(coalesceResult{err: fmt.Errorf("decoding query: %w", err)})
@@ -446,13 +535,17 @@ func (co *Coalescer) execute(name string, batch []*pendingQuery) {
 		// One distinct query (lone arrival, or a fully duplicate window):
 		// the batch path gains nothing, run it direct.
 		g := live[0]
+		arenaStart := time.Now()
 		ir, err := co.store.Search(name, g.q)
+		arenaNS := int64(time.Since(arenaStart))
+		stampMembers(g.members, trace.StageArena, arenaNS)
 		if err != nil {
 			co.met.failed.Add(int64(len(g.members)))
 			g.fan(coalesceResult{err: err})
 			return
 		}
 		streamed = ir.Stats.ChunkStreams
+		attributeArena(g.members, ir.Stats)
 		candidates := ir.Candidates
 		ir.Release()
 		g.fan(coalesceResult{candidates: candidates})
@@ -462,20 +555,25 @@ func (co *Coalescer) execute(name string, batch []*pendingQuery) {
 			queries[i] = g.q
 		}
 		bq := core.NewBatchQuery(queries...)
+		arenaStart := time.Now()
 		irs, err := co.store.SearchBatch(name, bq)
+		arenaNS := int64(time.Since(arenaStart))
 		if err != nil {
 			// Batch-level failure (validation, missing database): isolate
 			// it by retrying each group alone, so only the offending
 			// members fail.
 			co.met.fallbacks.Inc()
 			for _, g := range live {
+				soloStart := time.Now()
 				ir, err := co.store.Search(name, g.q)
+				stampMembers(g.members, trace.StageArena, int64(time.Since(soloStart)))
 				if err != nil {
 					co.met.failed.Add(int64(len(g.members)))
 					g.fan(coalesceResult{err: err})
 					continue
 				}
 				co.met.chunkStreams.Add(ir.Stats.ChunkStreams)
+				attributeArena(g.members, ir.Stats)
 				candidates := ir.Candidates
 				ir.Release()
 				g.fan(coalesceResult{candidates: candidates})
@@ -485,6 +583,11 @@ func (co *Coalescer) execute(name string, batch []*pendingQuery) {
 		for i, g := range live {
 			ir := irs[i]
 			streamed += ir.Stats.ChunkStreams
+			// The member stats are the per-query share the batch kernel
+			// attributed; the shared arena-pass wall time is stamped whole
+			// (every member rode the same pass).
+			stampMembers(g.members, trace.StageArena, arenaNS)
+			attributeArena(g.members, ir.Stats)
 			candidates := ir.Candidates
 			ir.Release()
 			g.fan(coalesceResult{candidates: candidates})
@@ -539,6 +642,7 @@ func (co *Coalescer) Close() {
 		q.mu.Lock()
 		pending := q.pending
 		q.pending = nil
+		q.depth.Set(0)
 		q.dead = true
 		if q.timer != nil {
 			q.timer.Stop()
@@ -575,10 +679,26 @@ type serverMetrics struct {
 	occupancy    *metrics.Histogram // queries per coalesced batch
 	queueWait    *metrics.Histogram // ns from enqueue to batch execution
 	window       *metrics.Gauge     // last adaptive batching window, ns
+
+	// Per-tenant serving telemetry (label key "db"; values bounded by the
+	// store's MaxStoredDBs cap plus the shared "_other" child) and the
+	// errors-by-type split (label key "type"; fixed catalog). Together
+	// with tenant_latency_ns bound by the trace recorder these are the
+	// per-tenant RED metrics: rate, errors, duration.
+	tenantQueries   *metrics.CounterVec   // tenant_queries_total{db}
+	tenantErrors    *metrics.CounterVec   // tenant_errors_total{db}
+	tenantRejected  *metrics.CounterVec   // tenant_rejected_total{db}
+	tenantOccupancy *metrics.HistogramVec // tenant_batch_occupancy{db}
+	tenantDepth     *metrics.GaugeVec     // tenant_queue_depth{db}
+	errorsByType    *metrics.CounterVec   // errors_by_type_total{type}
 }
 
 func newServerMetrics() *serverMetrics {
 	reg := metrics.NewRegistry()
+	// Go runtime health gauges ride in the same registry, so every
+	// MsgStats reply and /metrics scrape shows goroutines/heap/GC next
+	// to the serving counters.
+	metrics.RegisterRuntime(reg)
 	return &serverMetrics{
 		reg:          reg,
 		start:        time.Now(),
@@ -599,6 +719,13 @@ func newServerMetrics() *serverMetrics {
 		occupancy:    reg.Histogram("batch_occupancy"),
 		queueWait:    reg.Histogram("queue_wait_ns"),
 		window:       reg.Gauge("coalesce_window_ns"),
+
+		tenantQueries:   reg.CounterVec("tenant_queries_total", "db"),
+		tenantErrors:    reg.CounterVec("tenant_errors_total", "db"),
+		tenantRejected:  reg.CounterVec("tenant_rejected_total", "db"),
+		tenantOccupancy: reg.HistogramVec("tenant_batch_occupancy", "db"),
+		tenantDepth:     reg.GaugeVec("tenant_queue_depth", "db"),
+		errorsByType:    reg.CounterVec("errors_by_type_total", "type"),
 	}
 }
 

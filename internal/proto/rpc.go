@@ -14,6 +14,7 @@ import (
 	"ciphermatch/internal/core"
 	"ciphermatch/internal/metrics"
 	"ciphermatch/internal/rng"
+	"ciphermatch/internal/trace"
 )
 
 // Server is the network-facing CIPHERMATCH service: a multi-tenant
@@ -27,7 +28,8 @@ type Server struct {
 	params bfv.Params
 	store  *Store
 	met    *serverMetrics
-	co     *Coalescer // nil = coalescing disabled (every query runs direct)
+	co     *Coalescer      // nil = coalescing disabled (every query runs direct)
+	rec    *trace.Recorder // request-lifecycle flight recorder, never nil
 
 	// Per-connection I/O deadlines; zero disables. The read deadline
 	// bounds how long an idle or slow-loris peer may hold a connection
@@ -51,7 +53,24 @@ func NewServer(params bfv.Params) *Server {
 // NewServerWithSpec creates a server with a default engine spec applied
 // to uploads that do not request a specific engine.
 func NewServerWithSpec(params bfv.Params, defaultSpec core.EngineSpec) *Server {
-	return &Server{params: params, store: NewStore(params, defaultSpec), met: newServerMetrics(), conns: make(map[net.Conn]struct{})}
+	met := newServerMetrics()
+	return &Server{params: params, store: NewStore(params, defaultSpec), met: met,
+		rec: newBoundRecorder(met, 0, 0), conns: make(map[net.Conn]struct{})}
+}
+
+// DefaultTraceBuf is the default capacity of each trace ring (recent
+// and slow).
+const DefaultTraceBuf = 4096
+
+// newBoundRecorder builds the server's trace recorder (capacity <= 0
+// selects DefaultTraceBuf) bound into the serving-metrics registry.
+func newBoundRecorder(met *serverMetrics, capacity int, slow time.Duration) *trace.Recorder {
+	if capacity <= 0 {
+		capacity = DefaultTraceBuf
+	}
+	rec := trace.NewRecorder(capacity, slow)
+	rec.BindMetrics(met.reg)
+	return rec
 }
 
 // NewServerWithOptions creates a server over a durable store: uploads
@@ -77,12 +96,24 @@ func NewServerWithServing(params bfv.Params, defaultSpec core.EngineSpec, opts S
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{params: params, store: store, met: met, conns: make(map[net.Conn]struct{})}
+	s := &Server{params: params, store: store, met: met,
+		rec: newBoundRecorder(met, 0, 0), conns: make(map[net.Conn]struct{})}
 	if coalesce.Window > 0 {
 		s.co = NewCoalescer(store, params, coalesce, s.met)
 	}
 	return s, nil
 }
+
+// SetTracing resizes the trace rings and slow-query threshold (zero
+// keeps either default). Call before Serve; traces recorded by the old
+// recorder are discarded.
+func (s *Server) SetTracing(capacity int, slowThreshold time.Duration) {
+	s.rec = newBoundRecorder(s.met, capacity, slowThreshold)
+}
+
+// Traces exposes the server's trace recorder (for the /traces HTTP
+// endpoints and tests).
+func (s *Server) Traces() *trace.Recorder { return s.rec }
 
 // SetTimeouts configures the per-connection read and write deadlines
 // applied around each request (zero disables either). Call before
@@ -171,69 +202,160 @@ func (s *Server) untrack(conn net.Conn) {
 	s.wg.Done()
 }
 
+// timedReader wraps a connection for the read-stage measurement: it
+// records the wall-clock instant the first byte of the current frame
+// arrived, so the read stage covers frame transfer time, not the idle
+// wait between a client's requests.
+type timedReader struct {
+	r     io.Reader
+	first time.Time // zero until the first byte since reset
+}
+
+func (t *timedReader) reset() { t.first = time.Time{} }
+
+func (t *timedReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 && t.first.IsZero() {
+		t.first = time.Now()
+	}
+	return n, err
+}
+
+// tenantHandles are the per-tenant serving-metric handles a connection
+// caches (keyed by label value, so a hostile client cycling names
+// cannot grow the cache past the hosted set plus "_other"), keeping
+// labeled-family lookups off the per-request path.
+type tenantHandles struct {
+	queries *metrics.Counter
+	errors  *metrics.Counter
+	latency *metrics.Histogram
+}
+
+func (s *Server) tenantHandlesFor(cache map[string]tenantHandles, name string) tenantHandles {
+	label := name
+	if !s.store.Has(name) {
+		label = unknownTenantLabel
+	}
+	if h, ok := cache[label]; ok {
+		return h
+	}
+	h := tenantHandles{
+		queries: s.met.tenantQueries.With(label),
+		errors:  s.met.tenantErrors.With(label),
+		latency: s.rec.TenantHistogram(label),
+	}
+	cache[label] = h
+	return h
+}
+
 // handleConn answers requests until the peer disconnects. Application
 // errors (unknown database, malformed query) are reported as MsgError
 // and the connection stays usable — one tenant's bad request must not
 // tear down a session. A handler panic is confined to the request that
 // caused it and answered with MsgServerError; the process, the other
 // connections, and even this connection keep serving.
+//
+// Every MsgQuery gets a lifecycle trace: the Trace value is owned by
+// this handler and reused across requests (zero allocations per
+// record), stamped here for the read/encode-adjacent/write boundaries
+// and inside searchOne/the coalescer for the pipeline stages, then
+// sealed into the recorder's rings after the reply hits the socket.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
+	tr := &timedReader{r: conn}
+	var t trace.Trace
+	tenants := make(map[string]tenantHandles)
 	for {
 		if s.readTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.readTimeout)) //nolint:errcheck // fails only with the conn
 		}
-		msgType, payload, err := ReadMessage(conn)
+		tr.reset()
+		msgType, payload, err := ReadMessage(tr)
 		if err != nil {
 			if errors.Is(err, ErrConnTruncated) {
 				s.met.truncated.Inc()
 			}
 			return // EOF, deadline, or broken peer; nothing to answer
 		}
-		reply, body := s.answer(msgType, payload)
+		traced := msgType == MsgQuery
+		var qt *trace.Trace
+		if traced {
+			t.Reset()
+			t.Start = tr.first.UnixNano()
+			t.Stamp(trace.StageRead, int64(time.Since(tr.first)))
+			qt = &t
+		}
+		reply, body := s.answer(msgType, payload, qt)
 		if s.writeTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)) //nolint:errcheck // fails only with the conn
 		}
-		if err := WriteMessage(conn, reply, body); err != nil {
+		writeStart := time.Now()
+		werr := WriteMessage(conn, reply, body)
+		if traced {
+			end := time.Now()
+			t.Stamp(trace.StageWrite, int64(end.Sub(writeStart)))
+			t.TotalNS = int64(end.Sub(tr.first))
+			var h tenantHandles
+			if t.Tenant != "" {
+				h = s.tenantHandlesFor(tenants, t.Tenant)
+				h.queries.Inc()
+			}
+			switch reply {
+			case MsgOverloaded:
+				t.Flags |= trace.FlagError | trace.FlagRejected
+			case MsgError, MsgServerError:
+				t.Flags |= trace.FlagError
+			}
+			if t.Flags&trace.FlagError != 0 && h.errors != nil {
+				h.errors.Inc()
+			}
+			s.rec.Finish(&t, h.latency)
+		}
+		if werr != nil {
 			return
 		}
 	}
 }
 
 // answer runs one request through handleMessage with panic isolation
-// and maps errors to their typed wire replies.
-func (s *Server) answer(msgType byte, payload []byte) (reply byte, body []byte) {
+// and maps errors to their typed wire replies. t is the request's
+// lifecycle trace (non-nil only for MsgQuery).
+func (s *Server) answer(msgType byte, payload []byte, t *trace.Trace) (reply byte, body []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.met.panics.Inc()
 			s.met.errorsTotal.Inc()
+			s.met.errorsByType.With("panic").Inc()
 			reply, body = MsgServerError, []byte(fmt.Sprintf("recovered panic: %v", r))
 		}
 	}()
-	reply, body, err := s.handleMessage(msgType, payload)
+	reply, body, err := s.handleMessage(msgType, payload, t)
 	if err != nil {
 		switch {
 		// Admission-control rejections travel typed so clients can
 		// distinguish transient overload (retry with backoff) from a
 		// request that will never succeed.
 		case errors.Is(err, ErrOverloaded) || errors.Is(err, errShutdown):
+			s.met.errorsByType.With("overloaded").Inc()
 			reply, body = MsgOverloaded, []byte(err.Error())
 		// Server-side faults (quarantined storage, recovered executor
 		// panics) travel typed too: the request was fine, the server
 		// was not — retryable for read-only requests.
 		case errors.Is(err, ErrServerFault):
 			s.met.errorsTotal.Inc()
+			s.met.errorsByType.With("server_fault").Inc()
 			reply, body = MsgServerError, []byte(err.Error())
 		default:
 			s.met.errorsTotal.Inc()
+			s.met.errorsByType.With("error").Inc()
 			reply, body = MsgError, []byte(err.Error())
 		}
 	}
 	return reply, body
 }
 
-func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, error) {
+func (s *Server) handleMessage(msgType byte, payload []byte, t *trace.Trace) (byte, []byte, error) {
 	switch msgType {
 	case MsgUploadDB:
 		name, spec, db, err := DecodeUploadDB(payload, s.params)
@@ -247,18 +369,40 @@ func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, erro
 		return MsgAck, nil, nil
 	case MsgQuery:
 		s.met.queries.Inc()
-		candidates, err := s.searchOne(payload)
+		// Peel the trace extension before any decoding so the coalescer's
+		// byte-identical dedup sees the same query bytes from traced and
+		// untraced clients alike.
+		payload, clientID, hasID := PeelTraceExt(payload)
+		if hasID {
+			t.ID = clientID
+			t.Flags |= trace.FlagClientID
+		} else {
+			t.ID = s.rec.NextID()
+		}
+		candidates, err := s.searchOne(payload, t)
 		if err != nil {
 			if errors.Is(err, ErrOverloaded) || errors.Is(err, errShutdown) {
 				return 0, nil, err
 			}
 			return 0, nil, fmt.Errorf("search: %w", err)
 		}
+		encodeStart := time.Now()
 		body, err := EncodeResult(candidates)
 		if err != nil {
 			return 0, nil, fmt.Errorf("encoding result: %w", err)
 		}
+		t.Stamp(trace.StageEncode, int64(time.Since(encodeStart)))
 		return MsgResult, body, nil
+	case MsgTraceDump:
+		max, slowOnly, err := DecodeTraceDump(payload)
+		if err != nil {
+			return 0, nil, fmt.Errorf("decoding trace dump request: %w", err)
+		}
+		traces := s.rec.Recent(max)
+		if slowOnly {
+			traces = s.rec.Slow(max)
+		}
+		return MsgTraceDumpResult, EncodeTraceDumpResult(traces), nil
 	case MsgBatchQuery:
 		name, bq, err := DecodeNamedBatchQuery(payload, s.params)
 		if err != nil {
@@ -304,23 +448,35 @@ func (s *Server) handleMessage(msgType byte, payload []byte) (byte, []byte, erro
 // configured, and directly through the store otherwise. The two paths
 // return bit-identical candidates; the coalesced one defers the query
 // decode into the batching window (identical payloads decode once) and
-// shares arena passes with concurrent arrivals.
-func (s *Server) searchOne(payload []byte) ([]int, error) {
+// shares arena passes with concurrent arrivals. Stage stamps land on t
+// either here (direct path) or inside the coalescer's executor.
+func (s *Server) searchOne(payload []byte, t *trace.Trace) ([]int, error) {
 	if s.co != nil {
+		splitStart := time.Now()
 		name, raw, err := SplitNamedQuery(payload)
 		if err != nil {
 			return nil, fmt.Errorf("decoding query: %w", err)
 		}
-		return s.co.SearchRaw(name, raw)
+		t.Tenant = name
+		t.Stamp(trace.StageDecode, int64(time.Since(splitStart)))
+		return s.co.SearchRawTraced(name, raw, t)
 	}
+	decodeStart := time.Now()
 	name, q, err := DecodeNamedQuery(payload, s.params)
 	if err != nil {
 		return nil, fmt.Errorf("decoding query: %w", err)
 	}
+	t.Tenant = name
+	arenaStart := time.Now()
+	t.Stamp(trace.StageDecode, int64(arenaStart.Sub(decodeStart)))
 	ir, err := s.store.Search(name, q)
 	if err != nil {
 		return nil, err
 	}
+	t.Stamp(trace.StageArena, int64(time.Since(arenaStart)))
+	t.ChunkStreams = ir.Stats.ChunkStreams
+	t.HomAdds = int64(ir.Stats.HomAdds)
+	t.Batch = 1
 	s.met.chunkStreams.Add(ir.Stats.ChunkStreams)
 	candidates := ir.Candidates
 	// Only candidates cross the wire; recycle the hit bitmaps so the
@@ -377,6 +533,49 @@ type Conn struct {
 	jitter     *rng.Source // guarded by mu
 	retries    atomic.Int64
 	reconnects atomic.Int64
+
+	// Client-side trace correlation: when traceBase is non-zero every
+	// query carries the trailing trace extension with ID traceBase+seq,
+	// so server-side traces can be joined back to this client's requests.
+	traceBase uint64
+	traceSeq  atomic.Uint64
+}
+
+// EnableTracing turns on end-to-end trace correlation for this
+// connection's queries: each Search/SearchPrepared request carries a
+// client-generated trace ID (base + per-request sequence) in the
+// trailing wire extension. Old servers ignore the extension; new
+// servers adopt the ID, visible later in TraceDump and /traces. Pick a
+// base that distinguishes this client (e.g. a hash of its name); zero
+// disables.
+func (c *Conn) EnableTracing(base uint64) {
+	c.traceBase = base
+}
+
+// NextTraceID returns the trace ID the next traced query will carry.
+func (c *Conn) NextTraceID() uint64 {
+	return c.traceBase + c.traceSeq.Load() + 1
+}
+
+// TraceDump fetches up to max request traces from the server's flight
+// recorder (0 = ring capacity), newest first; slowOnly reads the
+// slow-query ring instead of the recent one. Servers predating the
+// trace protocol answer MsgError, surfaced here as an error.
+func (c *Conn) TraceDump(max int, slowOnly bool) ([]trace.Trace, error) {
+	reply, body, err := c.retryRoundTrip(MsgTraceDump, EncodeTraceDump(max, slowOnly))
+	if err != nil {
+		return nil, err
+	}
+	switch reply {
+	case MsgTraceDumpResult:
+		return DecodeTraceDumpResult(body)
+	case MsgServerError:
+		return nil, fmt.Errorf("proto: %s: %w", body, ErrServerFault)
+	case MsgError:
+		return nil, fmt.Errorf("proto: server error: %s", body)
+	default:
+		return nil, fmt.Errorf("proto: unexpected reply type %d", reply)
+	}
 }
 
 // Dial connects to a CIPHERMATCH server.
@@ -546,8 +745,14 @@ func (c *Conn) PrepareSearch(name string, q *core.Query) ([]byte, error) {
 
 // SearchPrepared sends a request payload built by PrepareSearch (on
 // this or any Conn to the same server — payloads are connection-
-// independent) and decodes the reply like Search.
+// independent) and decodes the reply like Search. With tracing enabled
+// the payload is cloned before the extension is appended, so prepared
+// payloads shared across connections are never mutated.
 func (c *Conn) SearchPrepared(payload []byte) ([]int, error) {
+	if c.traceBase != 0 {
+		id := c.traceBase + c.traceSeq.Add(1)
+		payload = AppendTraceExt(append([]byte(nil), payload...), id)
+	}
 	reply, body, err := c.retryRoundTrip(MsgQuery, payload)
 	if err != nil {
 		return nil, err

@@ -65,7 +65,11 @@ type Store struct {
 
 // storeMetrics is the store's durability-and-robustness counter set,
 // registered next to the serving metrics so /metrics shows storage
-// faults beside how the serving stack absorbed them.
+// faults beside how the serving stack absorbed them. Tenant-attributable
+// events additionally bump a per-database labeled family (tenant_*), so
+// a quarantined or thrashing tenant is identifiable from /metrics alone;
+// the flat store_* totals keep their names for existing dashboards and
+// the chaos CI grep.
 type storeMetrics struct {
 	scrubRuns        *metrics.Counter // background/explicit scrub passes
 	scrubCorruptions *metrics.Counter // resident arenas failing their recorded CRCs
@@ -74,6 +78,12 @@ type storeMetrics struct {
 	reloads          *metrics.Counter // cold databases reloaded from their segment
 	reloadFailures   *metrics.Counter // reload attempts that failed (DB stays cold)
 	evictions        *metrics.Counter // residents evicted by the memory budget
+
+	tenantScrubCorruptions *metrics.CounterVec // tenant_scrub_corruptions_total{db}
+	tenantQuarantines      *metrics.CounterVec // tenant_quarantines_total{db}
+	tenantReloads          *metrics.CounterVec // tenant_reloads_total{db}
+	tenantReloadFailures   *metrics.CounterVec // tenant_reload_failures_total{db}
+	tenantEvictions        *metrics.CounterVec // tenant_evictions_total{db}
 }
 
 func newStoreMetrics(reg *metrics.Registry) *storeMetrics {
@@ -85,7 +95,19 @@ func newStoreMetrics(reg *metrics.Registry) *storeMetrics {
 		reloads:          reg.Counter("store_reloads_total"),
 		reloadFailures:   reg.Counter("store_reload_failures_total"),
 		evictions:        reg.Counter("store_evictions_total"),
+
+		tenantScrubCorruptions: reg.CounterVec("tenant_scrub_corruptions_total", "db"),
+		tenantQuarantines:      reg.CounterVec("tenant_quarantines_total", "db"),
+		tenantReloads:          reg.CounterVec("tenant_reloads_total", "db"),
+		tenantReloadFailures:   reg.CounterVec("tenant_reload_failures_total", "db"),
+		tenantEvictions:        reg.CounterVec("tenant_evictions_total", "db"),
 	}
+}
+
+// reloadFailed records a failed reload attempt for a tenant.
+func (m *storeMetrics) reloadFailed(name string) {
+	m.reloadFailures.Inc()
+	m.tenantReloadFailures.With(name).Inc()
 }
 
 // SkippedSegment reports a recovered-but-unusable segment: well-formed
@@ -410,7 +432,7 @@ func (st *Store) ensureLoaded(d *hostedDB) error {
 	}
 	seg, err := st.dir.Load(d.name, st.params.N, st.params.Q)
 	if err != nil {
-		st.met.reloadFailures.Inc()
+		st.met.reloadFailed(d.name)
 		if isCorruptionErr(err) {
 			// The segment itself is damaged: retrying cannot help, so
 			// quarantine the file (same path the recovery scan takes)
@@ -427,13 +449,13 @@ func (st *Store) ensureLoaded(d *hostedDB) error {
 	edb, err := seg.DB()
 	if err != nil {
 		_ = seg.Close()
-		st.met.reloadFailures.Inc()
+		st.met.reloadFailed(d.name)
 		return fmt.Errorf("proto: adopting %q arena: %w", d.name, err)
 	}
 	eng, err := engine.Build(st.params, edb, d.spec)
 	if err != nil {
 		_ = seg.Close()
-		st.met.reloadFailures.Inc()
+		st.met.reloadFailed(d.name)
 		return fmt.Errorf("proto: rebuilding %q engine for %q: %w", d.spec, d.name, err)
 	}
 	d.db, d.engine, d.seg = edb, eng, seg
@@ -443,6 +465,7 @@ func (st *Store) ensureLoaded(d *hostedDB) error {
 	d.crcKnown = true
 	d.loaded.Store(true)
 	st.met.reloads.Inc()
+	st.met.tenantReloads.With(d.name).Inc()
 	st.resident.Add(st.arenaBytes(d.chunks))
 	return nil
 }
@@ -488,6 +511,7 @@ func (st *Store) ScrubOnce() (checked, corrupted int) {
 		}
 		corrupted++
 		st.met.scrubCorruptions.Inc()
+		st.met.tenantScrubCorruptions.With(d.name).Inc()
 		st.quarantine(d, fmt.Errorf("scrub: plane CRCs %016x/%016x, recorded %016x/%016x",
 			got[0], got[1], want[0], want[1]))
 	}
@@ -513,6 +537,7 @@ func (st *Store) quarantineLocked(d *hostedDB, cause error) {
 	d.corruptErr = cause
 	st.unloadLocked(d)
 	st.met.quarantines.Inc()
+	st.met.tenantQuarantines.With(d.name).Inc()
 	if st.dir != nil && d.persisted {
 		// Best-effort: a failed rename leaves the file in place, but the
 		// corrupt flag alone already stops it from being served.
@@ -563,6 +588,7 @@ func (st *Store) enforceBudget(keep *hostedDB) {
 		if !v.dropped && v.engine != nil && v.persisted {
 			st.unloadLocked(v)
 			st.met.evictions.Inc()
+			st.met.tenantEvictions.With(v.name).Inc()
 		}
 		v.mu.Unlock()
 	}
@@ -689,6 +715,17 @@ func (st *Store) Drop(name string) error {
 }
 
 // List describes every hosted database, sorted by name. It reads only
+// Has reports whether the store hosts a database under the name —
+// resident, cold, or quarantined. The telemetry layer uses it as its
+// label-cardinality guard: only hosted names (bounded by MaxStoredDBs)
+// may become metric label values.
+func (st *Store) Has(name string) bool {
+	st.mu.RLock()
+	_, ok := st.dbs[name]
+	st.mu.RUnlock()
+	return ok
+}
+
 // registration metadata (persisted in the segment header and manifest),
 // never the arena, so cold databases list correctly without touching
 // disk.

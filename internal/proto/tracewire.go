@@ -1,0 +1,203 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ciphermatch/internal/trace"
+)
+
+// Trace wire extension: a client that wants end-to-end trace
+// correlation appends a small suffix to its MsgQuery payload carrying a
+// client-generated trace ID. The suffix rides *after* the query bytes,
+// parsed from the end of the payload:
+//
+//	[query payload][ext bytes][extLen u32][version u32][magic 8 bytes]
+//
+// Trailing placement is what makes the extension interop cleanly in
+// both directions with no version negotiation: every query decoder in
+// this package reads its structure front-to-back and ignores trailing
+// bytes, so an old server decodes an extended payload as if the suffix
+// were not there (new-client/old-server), and a new server seeing no
+// magic treats the query as unextended and assigns a server-side trace
+// ID (old-client/new-server). The 64-bit magic makes an accidental
+// match on legacy query bytes a 2^-64 event, the same collision budget
+// the coalescer's 64-bit content hash already accepts, and the
+// extLen/version bounds checks shrink it further.
+//
+// The extension must be appended to the *full named payload* (after
+// EncodeNamedQuery) and peeled before SplitNamedQuery server-side, so
+// the coalescer's byte-identical dedup still sees identical query
+// bytes from different traced clients.
+const (
+	// traceExtMagic is "tracext1" little-endian — the last 8 payload
+	// bytes of an extended query.
+	traceExtMagic = uint64(0x3174786563617274)
+	// traceExtVersion is the current extension version. The ext bytes of
+	// every version begin with the 8-byte little-endian trace ID, so
+	// newer-versioned extensions still yield their ID here.
+	traceExtVersion = 1
+	// traceExtTrailer is the fixed trailer width: extLen + version + magic.
+	traceExtTrailer = 4 + 4 + 8
+	// traceExtIDBytes is the minimum ext-bytes width (the trace ID).
+	traceExtIDBytes = 8
+)
+
+// AppendTraceExt returns payload with the trace extension appended.
+// The input slice may be retained and extended in place when capacity
+// allows.
+func AppendTraceExt(payload []byte, traceID uint64) []byte {
+	var tmp [traceExtIDBytes + traceExtTrailer]byte
+	binary.LittleEndian.PutUint64(tmp[0:], traceID)
+	binary.LittleEndian.PutUint32(tmp[8:], traceExtIDBytes)
+	binary.LittleEndian.PutUint32(tmp[12:], traceExtVersion)
+	binary.LittleEndian.PutUint64(tmp[16:], traceExtMagic)
+	return append(payload, tmp[:]...)
+}
+
+// PeelTraceExt splits a query payload into the bare query bytes and the
+// client trace ID. ok reports whether a well-formed extension was
+// present; without one the payload is returned unchanged (a legacy
+// client, or bytes that merely end near the magic but fail the bounds
+// checks). Versions newer than traceExtVersion are accepted — the ID
+// prefix of the ext bytes is stable across versions by contract.
+func PeelTraceExt(payload []byte) (rest []byte, traceID uint64, ok bool) {
+	n := len(payload)
+	if n < traceExtIDBytes+traceExtTrailer {
+		return payload, 0, false
+	}
+	if binary.LittleEndian.Uint64(payload[n-8:]) != traceExtMagic {
+		return payload, 0, false
+	}
+	version := binary.LittleEndian.Uint32(payload[n-12 : n-8])
+	extLen := binary.LittleEndian.Uint32(payload[n-16 : n-12])
+	if version < 1 || extLen < traceExtIDBytes || int(extLen) > n-traceExtTrailer {
+		return payload, 0, false
+	}
+	extStart := n - traceExtTrailer - int(extLen)
+	traceID = binary.LittleEndian.Uint64(payload[extStart:])
+	return payload[:extStart], traceID, true
+}
+
+// EncodeTraceDump frames a MsgTraceDump request: how many traces (0 =
+// ring capacity) and whether to read the slow ring instead of the
+// recent one.
+func EncodeTraceDump(max int, slowOnly bool) []byte {
+	var b buffer
+	b.putInt(max)
+	if slowOnly {
+		b.data = append(b.data, 1)
+	} else {
+		b.data = append(b.data, 0)
+	}
+	return b.data
+}
+
+// DecodeTraceDump is the inverse of EncodeTraceDump.
+func DecodeTraceDump(data []byte) (max int, slowOnly bool, err error) {
+	b := buffer{data: data}
+	if max, err = b.int(); err != nil {
+		return 0, false, err
+	}
+	if b.off >= len(b.data) {
+		return 0, false, errShortPayload
+	}
+	return max, b.data[b.off] != 0, nil
+}
+
+// traceMinWireBytes is the minimum wire footprint of one encoded trace,
+// used to bound the decoded trace count against the payload length.
+// The stage array carries its own count word per trace so the stage
+// catalog can grow without a wire version bump: decoders accept any
+// count and keep the first NumStages slots.
+const traceMinWireBytes = 4 /*name len*/ + 8*5 /*id,seq,start,total + stage count*/
+
+// EncodeTraceDumpResult serialises a MsgTraceDumpResult reply.
+func EncodeTraceDumpResult(traces []trace.Trace) []byte {
+	var b buffer
+	b.putInt(len(traces))
+	for i := range traces {
+		t := &traces[i]
+		b.putUint64(t.ID)
+		b.putUint64(t.Seq)
+		b.putString(t.Tenant)
+		b.putUint64(uint64(t.Start))
+		b.putInt(trace.NumStages)
+		for _, ns := range t.StageNS {
+			b.putUint64(uint64(ns))
+		}
+		b.putUint64(uint64(t.TotalNS))
+		b.putUint64(uint64(t.ChunkStreams))
+		b.putUint64(uint64(t.HomAdds))
+		b.putUint32(uint32(t.Batch))
+		b.putUint32(uint32(t.Flags))
+	}
+	return b.data
+}
+
+// DecodeTraceDumpResult is the inverse of EncodeTraceDumpResult. A
+// reply from a server with a larger stage catalog decodes cleanly: the
+// stages this build knows land in their slots, the rest are dropped.
+func DecodeTraceDumpResult(data []byte) ([]trace.Trace, error) {
+	b := buffer{data: data}
+	n, err := b.count(traceMinWireBytes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]trace.Trace, n)
+	for i := range out {
+		t := &out[i]
+		if t.ID, err = b.uint64(); err != nil {
+			return nil, err
+		}
+		if t.Seq, err = b.uint64(); err != nil {
+			return nil, err
+		}
+		if t.Tenant, err = b.string(); err != nil {
+			return nil, err
+		}
+		v, err := b.uint64()
+		if err != nil {
+			return nil, err
+		}
+		t.Start = int64(v)
+		nstages, err := b.count(8)
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < nstages; s++ {
+			ns, err := b.uint64()
+			if err != nil {
+				return nil, err
+			}
+			if s < trace.NumStages {
+				t.StageNS[s] = int64(ns)
+			}
+		}
+		if v, err = b.uint64(); err != nil {
+			return nil, err
+		}
+		t.TotalNS = int64(v)
+		if v, err = b.uint64(); err != nil {
+			return nil, err
+		}
+		t.ChunkStreams = int64(v)
+		if v, err = b.uint64(); err != nil {
+			return nil, err
+		}
+		t.HomAdds = int64(v)
+		w, err := b.uint32()
+		if err != nil {
+			return nil, err
+		}
+		t.Batch = int32(w)
+		if w, err = b.uint32(); err != nil {
+			return nil, err
+		}
+		if w > 0xff {
+			return nil, fmt.Errorf("proto: trace flags word %#x exceeds a byte", w)
+		}
+		t.Flags = uint8(w)
+	}
+	return out, nil
+}

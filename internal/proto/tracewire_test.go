@@ -1,0 +1,197 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"ciphermatch/internal/bfv"
+	"ciphermatch/internal/trace"
+)
+
+func TestTraceExtRoundTrip(t *testing.T) {
+	payload := []byte("some query bytes")
+	ext := AppendTraceExt(bytes.Clone(payload), 0xDEADBEEFCAFE0123)
+	rest, id, ok := PeelTraceExt(ext)
+	if !ok {
+		t.Fatal("extension not detected")
+	}
+	if id != 0xDEADBEEFCAFE0123 {
+		t.Fatalf("trace ID = %#x", id)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("peeled payload drifted: %q", rest)
+	}
+}
+
+func TestTraceExtAbsent(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		[]byte("short"),
+		[]byte("a perfectly ordinary query payload with no trailer"),
+		bytes.Repeat([]byte{0}, 64),
+	} {
+		rest, id, ok := PeelTraceExt(payload)
+		if ok || id != 0 {
+			t.Fatalf("false positive on %q", payload)
+		}
+		if !bytes.Equal(rest, payload) {
+			t.Fatal("unextended payload must come back unchanged")
+		}
+	}
+	// Magic present but bounds invalid: extLen larger than the payload.
+	ext := AppendTraceExt([]byte("q"), 7)
+	ext[len(ext)-16] = 0xFF // corrupt extLen low byte upward
+	if _, _, ok := PeelTraceExt(ext); ok {
+		t.Fatal("oversized extLen must be rejected")
+	}
+	// Corrupted magic: treated as no extension.
+	ext2 := AppendTraceExt([]byte("q"), 7)
+	ext2[len(ext2)-1] ^= 0x01
+	if rest, _, ok := PeelTraceExt(ext2); ok || !bytes.Equal(rest, ext2) {
+		t.Fatal("corrupt magic must read as unextended")
+	}
+	// Version 0 is invalid.
+	ext3 := AppendTraceExt([]byte("q"), 7)
+	ext3[len(ext3)-12] = 0
+	if _, _, ok := PeelTraceExt(ext3); ok {
+		t.Fatal("version 0 must be rejected")
+	}
+}
+
+// TestTraceExtInterop pins the two compatibility directions of the
+// extension on a real named-query payload.
+func TestTraceExtInterop(t *testing.T) {
+	p := bfv.ParamsToy()
+	q := fuzzSeedQuery(t, p)
+	plain := EncodeNamedQuery("tenant", q, p)
+
+	// New client -> old server: an old server has no PeelTraceExt and
+	// decodes the extended payload directly; trailing bytes must be
+	// invisible to it.
+	extended := AppendTraceExt(bytes.Clone(plain), 42)
+	name, got, err := DecodeNamedQuery(extended, p)
+	if err != nil {
+		t.Fatalf("old-server decode of extended payload: %v", err)
+	}
+	if name != "tenant" {
+		t.Fatalf("name = %q", name)
+	}
+	if !bytes.Equal(EncodeQuery(got, p), EncodeQuery(q, p)) {
+		t.Fatal("query drifted through the extension")
+	}
+	// The split path (coalesced serving) must also be unaffected after
+	// the peel: identical query bytes regardless of tracing.
+	rest, id, ok := PeelTraceExt(extended)
+	if !ok || id != 42 {
+		t.Fatalf("peel failed: ok=%v id=%d", ok, id)
+	}
+	splitName, raw, err := SplitNamedQuery(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rawPlain, _ := SplitNamedQuery(plain)
+	if splitName != "tenant" || !bytes.Equal(raw, rawPlain) {
+		t.Fatal("peeled split differs from untraced split — coalescer dedup would break")
+	}
+
+	// Old client -> new server: no extension, payload passes through
+	// untouched and the server assigns its own ID.
+	rest2, _, ok2 := PeelTraceExt(plain)
+	if ok2 || !bytes.Equal(rest2, plain) {
+		t.Fatal("plain payload must survive the peel unchanged")
+	}
+	// A future extension version still yields the leading trace ID.
+	future := AppendTraceExt(bytes.Clone(plain), 99)
+	future[len(future)-12] = 7
+	if _, id, ok := PeelTraceExt(future); !ok || id != 99 {
+		t.Fatalf("future version peel: ok=%v id=%d", ok, id)
+	}
+}
+
+func TestTraceDumpRequestRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		max  int
+		slow bool
+	}{{0, false}, {10, true}, {1 << 20, false}} {
+		max, slow, err := DecodeTraceDump(EncodeTraceDump(tc.max, tc.slow))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if max != tc.max || slow != tc.slow {
+			t.Fatalf("round trip drifted: %+v -> (%d, %v)", tc, max, slow)
+		}
+	}
+	if _, _, err := DecodeTraceDump([]byte{1, 2}); err == nil {
+		t.Fatal("truncated request must error")
+	}
+}
+
+func TestTraceDumpResultRoundTrip(t *testing.T) {
+	in := []trace.Trace{
+		{
+			ID: 7, Seq: 1, Tenant: "db-a", Start: 1700000000000000000,
+			TotalNS: 2_500_000, ChunkStreams: 4, HomAdds: 512, Batch: 3,
+			Flags: trace.FlagCoalesced | trace.FlagClientID,
+		},
+		{ID: 8, Seq: 2, Tenant: "db-b", Flags: trace.FlagError | trace.FlagRejected},
+	}
+	in[0].Stamp(trace.StageCoalesceWait, 400_000)
+	in[0].Stamp(trace.StageArena, 2_000_000)
+	out, err := DecodeTraceDumpResult(EncodeTraceDumpResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("trace %d drifted:\n in=%+v\nout=%+v", i, in[i], out[i])
+		}
+	}
+	if got, err := DecodeTraceDumpResult(EncodeTraceDumpResult(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty dump: %v %v", got, err)
+	}
+}
+
+func FuzzPeelTraceExt(f *testing.F) {
+	p := bfv.ParamsToy()
+	plain := EncodeNamedQuery("corpus", fuzzSeedQuery(f, p), p)
+	addWireSeeds(f, AppendTraceExt(bytes.Clone(plain), 0x0102030405060708))
+	addWireSeeds(f, plain)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest, id, ok := PeelTraceExt(data)
+		if !ok {
+			if !bytes.Equal(rest, data) {
+				t.Fatal("no-extension peel must return the payload unchanged")
+			}
+			return
+		}
+		// Append/peel must be a fixed point on whatever survived.
+		r2, id2, ok2 := PeelTraceExt(AppendTraceExt(bytes.Clone(rest), id))
+		if !ok2 || id2 != id || !bytes.Equal(r2, rest) {
+			t.Fatal("append->peel is not a fixed point")
+		}
+	})
+}
+
+func FuzzDecodeTraceDumpResult(f *testing.F) {
+	seed := []trace.Trace{{ID: 1, Seq: 2, Tenant: "db", TotalNS: 1000, Batch: 1}}
+	seed[0].Stamp(trace.StageArena, 900)
+	addWireSeeds(f, EncodeTraceDumpResult(seed))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecodeTraceDumpResult(data)
+		if err != nil {
+			return
+		}
+		canonical := EncodeTraceDumpResult(out)
+		back, err := DecodeTraceDumpResult(canonical)
+		if err != nil {
+			t.Fatalf("re-decoding canonical encoding failed: %v", err)
+		}
+		if !bytes.Equal(EncodeTraceDumpResult(back), canonical) {
+			t.Fatal("encode->decode->encode is not a fixed point")
+		}
+	})
+}

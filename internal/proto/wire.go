@@ -52,6 +52,12 @@ const (
 	// on the server side, not in the request: clients surface it as
 	// ErrServerFault. The connection stays usable.
 	MsgServerError byte = 14
+	// MsgTraceDump requests completed request traces from the server's
+	// flight-recorder rings (max count + slow-only selector) ->
+	// MsgTraceDumpResult. Old servers answer with MsgError (unknown
+	// message type), which clients surface as "tracing unsupported".
+	MsgTraceDump       byte = 15
+	MsgTraceDumpResult byte = 16
 )
 
 // ErrConnTruncated is the typed decode-path error for a connection or

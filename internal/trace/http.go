@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// traceJSON is the stable JSON shape of one trace on the /traces
+// endpoints — field names are part of the observability surface (cmtop
+// and the CI smoke job both consume them), so additions are fine but
+// renames are a breaking change.
+type traceJSON struct {
+	ID           uint64           `json:"id"`
+	Seq          uint64           `json:"seq"`
+	Tenant       string           `json:"tenant"`
+	StartUnixNS  int64            `json:"start_unix_ns"`
+	TotalNS      int64            `json:"total_ns"`
+	Stages       map[string]int64 `json:"stages"`
+	ChunkStreams int64            `json:"chunk_streams"`
+	HomAdds      int64            `json:"hom_adds"`
+	Batch        int32            `json:"batch"`
+	Coalesced    bool             `json:"coalesced"`
+	Error        bool             `json:"error"`
+	Rejected     bool             `json:"rejected"`
+	ClientID     bool             `json:"client_id"`
+}
+
+// dumpJSON is the /traces response envelope.
+type dumpJSON struct {
+	Total  uint64      `json:"total"`
+	Slow   uint64      `json:"slow"`
+	SlowNS int64       `json:"slow_threshold_ns"`
+	Traces []traceJSON `json:"traces"`
+}
+
+// toJSON converts a trace record to its JSON view. Skipped stages
+// (zero nanoseconds) are omitted from the stage map so the common
+// direct-path trace stays compact.
+func toJSON(t *Trace) traceJSON {
+	stages := make(map[string]int64, NumStages)
+	for i := 0; i < NumStages; i++ {
+		if ns := t.StageNS[i]; ns > 0 {
+			stages[Stage(i).String()] = ns
+		}
+	}
+	return traceJSON{
+		ID:           t.ID,
+		Seq:          t.Seq,
+		Tenant:       t.Tenant,
+		StartUnixNS:  t.Start,
+		TotalNS:      t.TotalNS,
+		Stages:       stages,
+		ChunkStreams: t.ChunkStreams,
+		HomAdds:      t.HomAdds,
+		Batch:        t.Batch,
+		Coalesced:    t.Flags&FlagCoalesced != 0,
+		Error:        t.Flags&FlagError != 0,
+		Rejected:     t.Flags&FlagRejected != 0,
+		ClientID:     t.Flags&FlagClientID != 0,
+	}
+}
+
+// defaultDumpLimit bounds a dump when the caller gives no ?n= — the
+// rings may hold thousands of traces and the endpoint is for humans
+// and pollers, not bulk export.
+const defaultDumpLimit = 100
+
+// serve renders one ring selection as the JSON envelope.
+func (r *Recorder) serve(w http.ResponseWriter, req *http.Request, slow bool) {
+	limit := defaultDumpLimit
+	if s := req.URL.Query().Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	var traces []Trace
+	if slow {
+		traces = r.Slow(limit)
+	} else {
+		traces = r.Recent(limit)
+	}
+	total, slowCount := r.Counts()
+	out := dumpJSON{
+		Total:  total,
+		Slow:   slowCount,
+		SlowNS: int64(r.SlowThreshold()),
+		Traces: make([]traceJSON, len(traces)),
+	}
+	for i := range traces {
+		out.Traces[i] = toJSON(&traces[i])
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// Handler serves the recent-traces ring as JSON (newest first); ?n=
+// caps the count (default 100).
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.serve(w, req, false)
+	})
+}
+
+// SlowHandler serves the slow-traces ring as JSON (newest first).
+func (r *Recorder) SlowHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.serve(w, req, true)
+	})
+}
