@@ -331,31 +331,97 @@ func BenchmarkEngine(b *testing.B) {
 	}
 	for _, specStr := range harness.DefaultEngineBenchSpecs() {
 		b.Run(specStr, func(b *testing.B) {
-			spec, err := ParseEngineSpec(specStr)
-			if err != nil {
-				b.Fatal(err)
-			}
-			eng, err := NewEngine(cfg.Params, db, spec)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				ir, err := eng.SearchAndIndex(q)
-				if err != nil {
+			benchEngineSpec(b, cfg, db, q, specStr)
+		})
+	}
+	// The large fixture (128 KiB database, 64 chunks, 1 MiB arena)
+	// streams from memory instead of cache; the pool-vs-serial
+	// crossover lives between the two sizes (see DESIGN.md §4.4).
+	lcfg, ldb, lq, err := harness.NewEngineBenchLargeFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, specStr := range harness.DefaultEngineBenchSpecs() {
+		b.Run("large/"+specStr, func(b *testing.B) {
+			benchEngineSpec(b, lcfg, ldb, lq, specStr)
+		})
+	}
+}
+
+func benchEngineSpec(b *testing.B, cfg core.Config, db *core.EncryptedDB, q *core.Query, specStr string) {
+	spec, err := ParseEngineSpec(specStr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(cfg.Params, db, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ir, err := eng.SearchAndIndex(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Recycle the hit bitmaps the way the wire server does
+		// after encoding, so the steady state exercises the
+		// bitset pool rather than the allocator.
+		ir.Release()
+	}
+	b.StopTimer()
+	if closer, ok := eng.(interface{ Close() error }); ok {
+		_ = closer.Close()
+	}
+}
+
+// BenchmarkRingKernels is the in-tree twin of harness.RunKernelBench:
+// the fused compare kernels on the standard 64-chunk × n=1024 arena
+// workload under every dispatch path available on this machine,
+// reporting coefficients/sec. Force a path process-wide with
+// CM_KERNEL=generic|unrolled|avx2 instead when benchmarking engines.
+func BenchmarkRingKernels(b *testing.B) {
+	prev := ring.ActiveKernel()
+	defer ring.SetKernel(prev)
+	const chunks, n, R = 64, 1024, 4
+	for _, fam := range []struct {
+		name string
+		q    uint64
+	}{{"pow2", 1 << 32}, {"generic", (1 << 40) + 15}} {
+		r := ring.MustNew(n, fam.q)
+		src := rng.NewSourceFromString("ring-kernel-bench-" + fam.name)
+		planes := make([]ring.Poly, chunks)
+		for c := range planes {
+			planes[c] = r.NewPoly()
+			r.UniformPoly(src, planes[c])
+		}
+		d := r.NewPoly()
+		r.UniformPoly(src, d)
+		rhs := make([]ring.Poly, R)
+		for v := range rhs {
+			rhs[v] = r.NewPoly()
+			r.UniformPoly(src, rhs[v])
+		}
+		bits := make([][]uint64, R)
+		for v := range bits {
+			bits[v] = make([]uint64, (chunks*n+63)/64)
+		}
+		for _, path := range ring.AvailableKernels() {
+			b.Run(fam.name+"/"+path.String(), func(b *testing.B) {
+				if err := ring.SetKernel(path); err != nil {
 					b.Fatal(err)
 				}
-				// Recycle the hit bitmaps the way the wire server does
-				// after encoding, so the steady state exercises the
-				// bitset pool rather than the allocator.
-				ir.Release()
-			}
-			b.StopTimer()
-			if closer, ok := eng.(interface{ Close() error }); ok {
-				_ = closer.Close()
-			}
-		})
+				b.SetBytes(2 * chunks * n * 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for c := range planes {
+						r.SubCmpMultiBits(planes[c], d, rhs, bits, c*n)
+					}
+				}
+				coeffs := float64(chunks) * float64(n) * float64(R) * float64(b.N)
+				b.ReportMetric(coeffs/b.Elapsed().Seconds(), "coeffs/s")
+			})
+		}
 	}
 }
 

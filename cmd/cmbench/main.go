@@ -13,6 +13,12 @@
 //	                        # the cold-load benchmark and the serving
 //	                        # storm (coalescing off vs on), and write
 //	                        # machine-readable results
+//	cmbench -kernels        # print the per-dispatch-path kernel table
+//	                        # (coefficients/sec, arena GB/s)
+//
+// The ring kernel dispatch path (generic | unrolled | avx2) is chosen
+// at startup by CPU detection and forceable with CM_KERNEL; every run
+// prints the active path so recorded numbers are attributable.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"ciphermatch/internal/harness"
 	"ciphermatch/internal/perfmodel"
+	"ciphermatch/internal/ring"
 )
 
 func main() {
@@ -32,6 +39,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	jsonOut := flag.String("json", "", "file to write machine-readable engine benchmark results (e.g. BENCH_results.json)")
 	compare := flag.String("compare", "", "baseline BENCH_results.json to print a per-engine delta table against (requires -json)")
+	kernels := flag.Bool("kernels", false, "run the ring kernel microbenchmark over every available dispatch path and print a coefficients/sec table")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +47,11 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	fmt.Printf("kernel path: %s (avx2 available: %v)\n", ring.ActiveKernel(), ring.AVX2Supported())
+	if note := ring.KernelInitNote(); note != "" {
+		fmt.Printf("kernel note: %s\n", note)
 	}
 
 	var selected []harness.Experiment
@@ -77,6 +90,16 @@ func main() {
 			}
 		}
 	}
+	if *kernels {
+		results, err := harness.RunKernelBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmbench: kernel benchmark: %v\n", err)
+			exitCode = 1
+		} else {
+			fmt.Println("ring kernels (per dispatch path):")
+			harness.WriteKernelBenchTable(os.Stdout, results)
+		}
+	}
 	if *jsonOut != "" {
 		if err := writeEngineBench(*jsonOut, *compare); err != nil {
 			fmt.Fprintf(os.Stderr, "cmbench: engine benchmark: %v\n", err)
@@ -105,6 +128,9 @@ func writeEngineBench(path, baseline string) error {
 	if report.TraceOverhead, err = harness.RunTraceOverheadBench(); err != nil {
 		return err
 	}
+	if report.Kernels, err = harness.RunKernelBench(); err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -119,6 +145,14 @@ func writeEngineBench(path, baseline string) error {
 	for _, e := range report.Engines {
 		fmt.Printf("engine-bench %-16s %12.0f ns/op %14.0f HomAdds/s %6d allocs/op %6d chunk-streams/op\n",
 			e.Engine, e.NsPerOp, e.HomAddsPerSec, e.AllocsPerOp, e.ChunkStreamsPerOp)
+	}
+	for _, e := range report.EnginesLarge {
+		fmt.Printf("engine-large %-16s %12.0f ns/op %14.0f HomAdds/s %6d allocs/op %6d chunk-streams/op\n",
+			e.Engine, e.NsPerOp, e.HomAddsPerSec, e.AllocsPerOp, e.ChunkStreamsPerOp)
+	}
+	for _, k := range report.Kernels {
+		fmt.Printf("kernel-bench %-7s %-9s %-8s R=%d %12.0f ns/op %12.3e coeffs/s %7.2f arena-GB/s %3d allocs/op\n",
+			k.Kernel, k.Path, k.QClass, k.R, k.NsPerOp, k.CoeffsPerSec, k.ArenaGBPerSec, k.AllocsPerOp)
 	}
 	for _, c := range report.ColdLoads {
 		fmt.Printf("cold-load    %-16s %12.0f ns cold-load %10.0f ns warm-search  mmap=%v madvise=%v (%d-byte segment)\n",

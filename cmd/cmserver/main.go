@@ -56,6 +56,7 @@ import (
 	"ciphermatch/internal/engine"
 	"ciphermatch/internal/fault"
 	"ciphermatch/internal/proto"
+	"ciphermatch/internal/ring"
 	"ciphermatch/internal/segment"
 )
 
@@ -185,6 +186,10 @@ func main() {
 	}
 	fmt.Printf("cmserver: listening on %s (BFV n=%d, log2 q=32, log2 t=16, default engine %s, coalescing %s)\n",
 		l.Addr(), bfv.ParamsPaper().N, spec, coalesceNote)
+	fmt.Printf("cmserver: ring kernel path %s (avx2 available: %v)\n", ring.ActiveKernel(), ring.AVX2Supported())
+	if note := ring.KernelInitNote(); note != "" {
+		fmt.Printf("cmserver: kernel note: %s\n", note)
+	}
 	serveErr := srv.Serve(serveL)
 	if err := srv.Shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, "cmserver: closing store:", err)

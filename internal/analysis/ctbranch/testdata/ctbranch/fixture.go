@@ -101,3 +101,40 @@ func ctLoopBoundsOK(a []uint64, out []uint64) {
 		out[i] = a[i]
 	}
 }
+
+// ctUnrolledLanes is the multi-lane kernel shape of the vectorized
+// rewrite: three-index re-slices, eight branchless compare lanes folded
+// into a group word with constant shifts, and the word-granular store
+// elision under //cm:allow. The lane arithmetic itself must never trip
+// the analyzer — only the allowed aggregated store may branch.
+//
+//cm:hotpath
+func ctUnrolledLanes(a, d []uint64, bits []uint64) {
+	n := len(a) &^ 63
+	for i := 0; i < n; i += 64 {
+		var w uint64
+		for k := 0; k < 64; k += 8 {
+			a8 := a[i+k : i+k+8 : i+k+8]
+			d8 := d[i+k : i+k+8 : i+k+8]
+			g := eqLane(a8[0], d8[0]) |
+				eqLane(a8[1], d8[1])<<1 |
+				eqLane(a8[2], d8[2])<<2 |
+				eqLane(a8[3], d8[3])<<3 |
+				eqLane(a8[4], d8[4])<<4 |
+				eqLane(a8[5], d8[5])<<5 |
+				eqLane(a8[6], d8[6])<<6 |
+				eqLane(a8[7], d8[7])<<7
+			w |= g << uint(k)
+		}
+		//cm:allow ctbranch -- aggregated hit-word store elision: only reveals word-granular nonzero, by design
+		if w != 0 {
+			bits[i>>6] |= w
+		}
+	}
+}
+
+//cm:hotpath
+func eqLane(x, y uint64) uint64 {
+	z := x ^ y
+	return ((z | -z) >> 63) ^ 1
+}

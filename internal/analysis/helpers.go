@@ -59,7 +59,12 @@ func FuncDeclObj(info *types.Info, fd *ast.FuncDecl) *types.Func {
 }
 
 // HotpathFuncs yields every function declaration in the pass marked
-// //cm:hotpath, with its resolved object.
+// //cm:hotpath, with its resolved object. Body-less declarations
+// (assembly stubs) are excluded by rule: there is no Go body for the
+// body checks to inspect, but their //cm:hotpath doc directive still
+// registers in pass.Dirs, so hotpath callers of a marked stub pass the
+// callee check. The stub's actual discipline is enforced downstream by
+// the per-path AllocsPerRun pins and the differential fuzzer.
 func HotpathFuncs(pass *Pass) map[*ast.FuncDecl]*types.Func {
 	out := make(map[*ast.FuncDecl]*types.Func)
 	for _, f := range pass.Files {

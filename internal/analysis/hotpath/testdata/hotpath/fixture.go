@@ -6,6 +6,7 @@ package fixture
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
 
 //cm:hotpath
@@ -99,4 +100,32 @@ func composite() [2]uint64 {
 func suppressed(n int) []uint64 {
 	//cm:allow hotpath -- setup path, measured cold
 	return make([]uint64, n)
+}
+
+// The kernel dispatch shape: an atomic load of the active-path word
+// selecting between hotpath implementations. sync/atomic is on the
+// callee whitelist (a Load is one MOV, never an allocation), so this
+// produces no diagnostics.
+var activePath atomic.Uint32
+
+//cm:hotpath
+func dispatches(a, b, out []uint64, q uint64) {
+	switch activePath.Load() {
+	case 1:
+		kernelGood(a, b, out, q)
+	default:
+		kernelGood(a, b, out, q)
+	}
+}
+
+// An assembly stub: a body-less declaration may carry //cm:hotpath in
+// its doc comment, satisfying the callee check for hotpath callers
+// while the body checks skip it (there is no Go body to inspect).
+//
+//cm:hotpath
+func asmStub(dst, a *uint64, q uint64)
+
+//cm:hotpath
+func callsAsmStub(dst, a []uint64, q uint64) {
+	asmStub(&dst[0], &a[0], q)
 }

@@ -11,6 +11,7 @@ import (
 	"ciphermatch/internal/bfv"
 	"ciphermatch/internal/core"
 	"ciphermatch/internal/engine"
+	"ciphermatch/internal/ring"
 	"ciphermatch/internal/rng"
 )
 
@@ -38,6 +39,22 @@ type EngineBenchReport struct {
 	GoArch   string              `json:"goarch"`
 	Workload string              `json:"workload"`
 	Engines  []EngineBenchResult `json:"engines"`
+	// KernelPath is the ring dispatch path the engine rows ran on, and
+	// AVX2 whether the machine offered the assembly path at all —
+	// without these two a cross-machine comparison of the numbers above
+	// is meaningless.
+	KernelPath string `json:"kernel_path,omitempty"`
+	AVX2       bool   `json:"avx2,omitempty"`
+	// WorkloadLarge/EnginesLarge is the same engine sweep on the large
+	// fixture (128 KiB database, 64 chunks, ≥1 MiB arena), where the
+	// kernel runs from memory instead of cache and parallel engines
+	// amortise their fan-out overhead — the pool-vs-serial crossover
+	// point lives between the two fixtures.
+	WorkloadLarge string              `json:"workload_large,omitempty"`
+	EnginesLarge  []EngineBenchResult `json:"engines_large,omitempty"`
+	// Kernels is the per-dispatch-path microbenchmark of the fused ring
+	// kernels themselves (see RunKernelBench).
+	Kernels []KernelBenchResult `json:"kernels,omitempty"`
 	// QueryBytes is the wire footprint of the fixture's seeded-match
 	// query (factored representation), and LegacyQueryBytes what the
 	// same query costs in the legacy expanded-token representation —
@@ -64,17 +81,35 @@ func DefaultEngineBenchSpecs() []string {
 // EngineBenchWorkload describes the standard fixture in the report.
 const EngineBenchWorkload = "4KiB db, 32-bit query, align 8, seeded-match"
 
+// EngineBenchWorkloadLarge describes the large fixture: 128 KiB of
+// database is 64 chunks at the paper's n=1024, i.e. a 1 MiB ciphertext
+// arena (two coefficient planes × 64 chunks × 1024 × 8 B), large
+// enough that one search streams from memory rather than L2.
+const EngineBenchWorkloadLarge = "128KiB db, 32-bit query, align 8, seeded-match"
+
 // NewEngineBenchFixture builds the one standard engine-benchmark
 // workload — a 4 KiB database and a 32-bit byte-aligned seeded-match
 // query — shared by the in-tree BenchmarkEngine sub-benchmarks and
 // cmbench -json, so the two stay measurements of the same thing.
 func NewEngineBenchFixture() (core.Config, *core.EncryptedDB, *core.Query, error) {
+	return newEngineBenchFixtureSized(4096)
+}
+
+// NewEngineBenchLargeFixture builds the large engine-benchmark
+// workload: the same query over a 128 KiB database — 64 chunks, a
+// 1 MiB ciphertext arena — so engine comparisons also cover the
+// memory-resident regime where parallel fan-out pays for itself.
+func NewEngineBenchLargeFixture() (core.Config, *core.EncryptedDB, *core.Query, error) {
+	return newEngineBenchFixtureSized(128 << 10)
+}
+
+func newEngineBenchFixtureSized(dbBytes int) (core.Config, *core.EncryptedDB, *core.Query, error) {
 	cfg := core.Config{Params: bfv.ParamsPaper(), AlignBits: 8, Mode: core.ModeSeededMatch}
 	client, err := core.NewClient(cfg, rng.NewSourceFromString("engine-bench"))
 	if err != nil {
 		return cfg, nil, nil, err
 	}
-	data := make([]byte, 4096)
+	data := make([]byte, dbBytes)
 	rng.NewSourceFromString("engine-bench-data").Bytes(data)
 	db, err := client.EncryptDatabase(data, len(data)*8)
 	if err != nil {
@@ -112,6 +147,8 @@ func RunEngineBench(specs []string) (*EngineBenchReport, error) {
 		GoArch:     runtime.GOARCH,
 		Workload:   EngineBenchWorkload,
 		QueryBytes: q.SizeBytes(cfg.Params),
+		KernelPath: ring.ActiveKernel().String(),
+		AVX2:       ring.AVX2Supported(),
 	}
 	lq, err := NewEngineBenchLegacyQuery()
 	if err != nil {
@@ -120,6 +157,26 @@ func RunEngineBench(specs []string) (*EngineBenchReport, error) {
 		return nil, fmt.Errorf("harness: legacy fixture query: %w", err)
 	}
 	report.LegacyQueryBytes = lq.SizeBytes(cfg.Params)
+	report.Engines, err = runEngineSpecs(cfg, db, q, specs)
+	if err != nil {
+		return nil, err
+	}
+	lcfg, ldb, lq2, err := NewEngineBenchLargeFixture()
+	if err != nil {
+		return nil, fmt.Errorf("harness: large fixture: %w", err)
+	}
+	report.WorkloadLarge = EngineBenchWorkloadLarge
+	report.EnginesLarge, err = runEngineSpecs(lcfg, ldb, lq2, specs)
+	if err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// runEngineSpecs measures SearchAndIndex for every engine spec over one
+// fixture, via testing.Benchmark.
+func runEngineSpecs(cfg core.Config, db *core.EncryptedDB, q *core.Query, specs []string) ([]EngineBenchResult, error) {
+	var results []EngineBenchResult
 	for _, specStr := range specs {
 		spec, err := engine.Parse(specStr)
 		if err != nil {
@@ -159,12 +216,12 @@ func RunEngineBench(specs []string) (*EngineBenchReport, error) {
 		if nsPerOp > 0 {
 			out.HomAddsPerSec = float64(warm.Stats.HomAdds) / (nsPerOp / 1e9)
 		}
-		report.Engines = append(report.Engines, out)
+		results = append(results, out)
 		if closer, ok := eng.(interface{ Close() error }); ok {
 			_ = closer.Close()
 		}
 	}
-	return report, nil
+	return results, nil
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -193,31 +250,21 @@ func ReadEngineBenchReport(path string) (*EngineBenchReport, error) {
 // visible in CI logs instead of buried in two JSON artifacts. Engines
 // present on only one side are listed without a delta.
 func (r *EngineBenchReport) WriteDelta(w io.Writer, old *EngineBenchReport) {
-	byEngine := make(map[string]EngineBenchResult, len(old.Engines))
-	for _, e := range old.Engines {
-		byEngine[e.Engine] = e
-	}
 	fmt.Fprintf(w, "engine-bench delta vs baseline (%s):\n", old.Workload)
-	fmt.Fprintf(w, "  %-16s %14s %14s %9s %10s %10s\n",
-		"engine", "old ns/op", "new ns/op", "Δ ns/op", "old allocs", "new allocs")
-	for _, e := range r.Engines {
-		o, ok := byEngine[e.Engine]
-		if !ok {
-			fmt.Fprintf(w, "  %-16s %14s %14.0f %9s %10s %10d  (new engine)\n",
-				e.Engine, "-", e.NsPerOp, "-", "-", e.AllocsPerOp)
-			continue
+	if r.KernelPath != "" || old.KernelPath != "" {
+		oldPath := old.KernelPath
+		if oldPath == "" {
+			oldPath = "(unrecorded)"
 		}
-		delta := "~"
-		if o.NsPerOp > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(e.NsPerOp-o.NsPerOp)/o.NsPerOp)
-		}
-		fmt.Fprintf(w, "  %-16s %14.0f %14.0f %9s %10d %10d\n",
-			e.Engine, o.NsPerOp, e.NsPerOp, delta, o.AllocsPerOp, e.AllocsPerOp)
-		delete(byEngine, e.Engine)
+		fmt.Fprintf(w, "  kernel path: old %s, new %s (avx2 available: %v)\n",
+			oldPath, r.KernelPath, r.AVX2)
 	}
-	for name := range byEngine {
-		fmt.Fprintf(w, "  %-16s (engine dropped from benchmark set)\n", name)
+	writeEngineDelta(w, r.Engines, old.Engines)
+	if len(r.EnginesLarge) > 0 {
+		fmt.Fprintf(w, "  large fixture (%s):\n", r.WorkloadLarge)
+		writeEngineDelta(w, r.EnginesLarge, old.EnginesLarge)
 	}
+	writeKernelDelta(w, r.Kernels, old.Kernels)
 	if old.QueryBytes > 0 || r.QueryBytes > 0 {
 		fmt.Fprintf(w, "  query bytes: old %d, new %d", old.QueryBytes, r.QueryBytes)
 		if r.LegacyQueryBytes > 0 {
@@ -234,5 +281,33 @@ func (r *EngineBenchReport) WriteDelta(w io.Writer, old *EngineBenchReport) {
 				old.Storm.QPS, old.Storm.BatchOccupancyMean)
 		}
 		fmt.Fprintln(w)
+	}
+}
+
+// writeEngineDelta prints one fixture's per-engine old-vs-new rows.
+func writeEngineDelta(w io.Writer, news, olds []EngineBenchResult) {
+	byEngine := make(map[string]EngineBenchResult, len(olds))
+	for _, e := range olds {
+		byEngine[e.Engine] = e
+	}
+	fmt.Fprintf(w, "  %-16s %14s %14s %9s %10s %10s\n",
+		"engine", "old ns/op", "new ns/op", "Δ ns/op", "old allocs", "new allocs")
+	for _, e := range news {
+		o, ok := byEngine[e.Engine]
+		if !ok {
+			fmt.Fprintf(w, "  %-16s %14s %14.0f %9s %10s %10d  (new measurement)\n",
+				e.Engine, "-", e.NsPerOp, "-", "-", e.AllocsPerOp)
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(e.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+		fmt.Fprintf(w, "  %-16s %14.0f %14.0f %9s %10d %10d\n",
+			e.Engine, o.NsPerOp, e.NsPerOp, delta, o.AllocsPerOp, e.AllocsPerOp)
+		delete(byEngine, e.Engine)
+	}
+	for name := range byEngine {
+		fmt.Fprintf(w, "  %-16s (engine dropped from benchmark set)\n", name)
 	}
 }

@@ -25,8 +25,13 @@ type TraceOverheadResult struct {
 
 // RunTraceOverheadBench measures the serial search and the per-request
 // trace record path with testing.Benchmark and returns their ratio.
+// The search side uses the large fixture: tracing cost is a constant
+// per request, so the honest denominator is a serving-scale search
+// (64-chunk arena), not the 2-chunk cache toy — against the small
+// fixture the vectorized kernels alone would "blow" the budget by
+// making the denominator faster.
 func RunTraceOverheadBench() (*TraceOverheadResult, error) {
-	cfg, db, q, err := NewEngineBenchFixture()
+	cfg, db, q, err := NewEngineBenchLargeFixture()
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"ciphermatch/internal/core"
 	"ciphermatch/internal/engine"
 	"ciphermatch/internal/metrics"
+	"ciphermatch/internal/ring"
 	"ciphermatch/internal/segment"
 )
 
@@ -87,6 +88,11 @@ type storeMetrics struct {
 }
 
 func newStoreMetrics(reg *metrics.Registry) *storeMetrics {
+	// Every search this store serves runs on one ring kernel dispatch
+	// path; exporting it as a one-hot labeled gauge
+	// (kernel_path{path="avx2"} 1) makes cross-host perf deltas
+	// attributable from /metrics alone.
+	reg.GaugeVec("kernel_path", "path").With(ring.ActiveKernel().String()).Set(1)
 	return &storeMetrics{
 		scrubRuns:        reg.Counter("store_scrub_runs_total"),
 		scrubCorruptions: reg.Counter("store_scrub_corruptions_total"),

@@ -13,11 +13,12 @@ package ring
 // written, so a miss-dominated search (the common case) is a pure read
 // stream over the ciphertext arena.
 //
-// Like subcmp.go, the coefficient loops are branchless by policy
-// (cmvet's ctbranch analyzer): modular reduction and equality are mask
-// arithmetic, and an unaligned base now gets a scalar prologue up to
-// the word boundary instead of demoting the whole poly to the scalar
-// path.
+// Like subcmp.go, each kernel dispatches across the generic baseline,
+// the unrolled multi-lane path and the AVX2 assembly path (kernel.go),
+// all bit-identical; the coefficient loops are branchless by policy
+// (cmvet's ctbranch analyzer), and an unaligned base gets a scalar
+// prologue up to the word boundary instead of demoting the whole poly
+// to the scalar path.
 
 // bitsetWord returns the word index and in-word bit mask of bit i.
 //
@@ -42,6 +43,21 @@ func eqMaskBit(x, y uint64) uint64 {
 //
 //cm:hotpath
 func (r *Ring) AddCmpBits(a, b, tok Poly, bits []uint64, base int) {
+	switch KernelPath(activeKernel.Load()) {
+	case KernelAVX2:
+		r.addCmpAVX2(a, b, tok, bits, base)
+	case KernelUnrolled:
+		r.addCmpUnrolled(a, b, tok, bits, base)
+	default:
+		r.addCmpGeneric(a, b, tok, bits, base)
+	}
+}
+
+// addCmpGeneric is the portable word-at-a-time baseline (the committed
+// pre-dispatch kernel, kept verbatim as the reference implementation).
+//
+//cm:hotpath
+func (r *Ring) addCmpGeneric(a, b, tok Poly, bits []uint64, base int) {
 	n := len(a)
 	i := 0
 	// Scalar prologue to the next word boundary, so any base gets the
@@ -90,10 +106,95 @@ func (r *Ring) AddCmpBits(a, b, tok Poly, bits []uint64, base int) {
 	r.addCmpScalar(a, b, tok, bits, base, i, n)
 }
 
+// addCmpUnrolled is the multi-lane portable path: 8 fused add-compares
+// per iteration over three-index re-slices so every lane access is
+// bounds-check-free, folding straight into the hit word without a
+// difference buffer (the sum is consumed the instruction after it is
+// produced).
+//
+//cm:hotpath
+func (r *Ring) addCmpUnrolled(a, b, tok Poly, bits []uint64, base int) {
+	n := len(a)
+	i := 0
+	if rem := base & 63; rem != 0 {
+		pro := 64 - rem
+		if pro > n {
+			pro = n
+		}
+		r.addCmpScalar(a, b, tok, bits, base, 0, pro)
+		i = pro
+	}
+	if r.qIsPow2 {
+		mask := r.mask
+		for ; i+64 <= n; i += 64 {
+			var w uint64
+			for k := 0; k < 64; k += 8 {
+				a8 := a[i+k : i+k+8 : i+k+8]
+				b8 := b[i+k : i+k+8 : i+k+8]
+				t8 := tok[i+k : i+k+8 : i+k+8]
+				g := eqMaskBit((a8[0]+b8[0])&mask, t8[0]) |
+					eqMaskBit((a8[1]+b8[1])&mask, t8[1])<<1 |
+					eqMaskBit((a8[2]+b8[2])&mask, t8[2])<<2 |
+					eqMaskBit((a8[3]+b8[3])&mask, t8[3])<<3 |
+					eqMaskBit((a8[4]+b8[4])&mask, t8[4])<<4 |
+					eqMaskBit((a8[5]+b8[5])&mask, t8[5])<<5 |
+					eqMaskBit((a8[6]+b8[6])&mask, t8[6])<<6 |
+					eqMaskBit((a8[7]+b8[7])&mask, t8[7])<<7
+				w |= g << uint(k)
+			}
+			//cm:allow ctbranch -- aggregated hit-word store elision keeps misses a pure read stream
+			if w != 0 {
+				bits[(base+i)>>6] |= w
+			}
+		}
+	} else {
+		q := r.q
+		for ; i+64 <= n; i += 64 {
+			var w uint64
+			for k := 0; k < 64; k += 8 {
+				a8 := a[i+k : i+k+8 : i+k+8]
+				b8 := b[i+k : i+k+8 : i+k+8]
+				t8 := tok[i+k : i+k+8 : i+k+8]
+				s0 := a8[0] + b8[0]
+				s1 := a8[1] + b8[1]
+				s2 := a8[2] + b8[2]
+				s3 := a8[3] + b8[3]
+				s4 := a8[4] + b8[4]
+				s5 := a8[5] + b8[5]
+				s6 := a8[6] + b8[6]
+				s7 := a8[7] + b8[7]
+				s0 -= q & (((s0 - q) >> 63) - 1)
+				s1 -= q & (((s1 - q) >> 63) - 1)
+				s2 -= q & (((s2 - q) >> 63) - 1)
+				s3 -= q & (((s3 - q) >> 63) - 1)
+				s4 -= q & (((s4 - q) >> 63) - 1)
+				s5 -= q & (((s5 - q) >> 63) - 1)
+				s6 -= q & (((s6 - q) >> 63) - 1)
+				s7 -= q & (((s7 - q) >> 63) - 1)
+				g := eqMaskBit(s0, t8[0]) |
+					eqMaskBit(s1, t8[1])<<1 |
+					eqMaskBit(s2, t8[2])<<2 |
+					eqMaskBit(s3, t8[3])<<3 |
+					eqMaskBit(s4, t8[4])<<4 |
+					eqMaskBit(s5, t8[5])<<5 |
+					eqMaskBit(s6, t8[6])<<6 |
+					eqMaskBit(s7, t8[7])<<7
+				w |= g << uint(k)
+			}
+			//cm:allow ctbranch -- aggregated hit-word store elision keeps misses a pure read stream
+			if w != 0 {
+				bits[(base+i)>>6] |= w
+			}
+		}
+	}
+	r.addCmpScalar(a, b, tok, bits, base, i, n)
+}
+
 // addCmpScalar is the coefficient-at-a-time edge path of AddCmpBits
 // over [lo, hi), shared by the unaligned prologue and the tail
-// epilogue. The hit mask is OR-stored unconditionally (OR of zero is a
-// no-op) so the ragged edges stay branchless too.
+// epilogue of every dispatch path. The hit mask is OR-stored
+// unconditionally (OR of zero is a no-op) so the ragged edges stay
+// branchless too.
 //
 //cm:hotpath
 func (r *Ring) addCmpScalar(a, b, tok Poly, bits []uint64, base, lo, hi int) {
@@ -116,6 +217,20 @@ func (r *Ring) addCmpScalar(a, b, tok Poly, bits []uint64, base, lo, hi int) {
 //
 //cm:hotpath
 func CmpEqScalarBits(a Poly, v uint64, bits []uint64, base int) {
+	switch KernelPath(activeKernel.Load()) {
+	case KernelAVX2:
+		cmpEqScalarAVX2(a, v, bits, base)
+	case KernelUnrolled:
+		cmpEqScalarUnrolled(a, v, bits, base)
+	default:
+		cmpEqScalarGeneric(a, v, bits, base)
+	}
+}
+
+// cmpEqScalarGeneric is the portable word-at-a-time baseline.
+//
+//cm:hotpath
+func cmpEqScalarGeneric(a Poly, v uint64, bits []uint64, base int) {
 	n := len(a)
 	i := 0
 	if rem := base & 63; rem != 0 {
@@ -131,6 +246,43 @@ func CmpEqScalarBits(a Poly, v uint64, bits []uint64, base int) {
 		var w uint64
 		for k := range aa {
 			w |= eqMaskBit(aa[k], v) << uint(k)
+		}
+		//cm:allow ctbranch -- aggregated hit-word store elision keeps misses a pure read stream
+		if w != 0 {
+			bits[(base+i)>>6] |= w
+		}
+	}
+	cmpEqScalarEdge(a, v, bits, base, i, n)
+}
+
+// cmpEqScalarUnrolled is the multi-lane path: 8 compares per iteration
+// over bounds-check-free re-slices.
+//
+//cm:hotpath
+func cmpEqScalarUnrolled(a Poly, v uint64, bits []uint64, base int) {
+	n := len(a)
+	i := 0
+	if rem := base & 63; rem != 0 {
+		pro := 64 - rem
+		if pro > n {
+			pro = n
+		}
+		cmpEqScalarEdge(a, v, bits, base, 0, pro)
+		i = pro
+	}
+	for ; i+64 <= n; i += 64 {
+		var w uint64
+		for k := 0; k < 64; k += 8 {
+			a8 := a[i+k : i+k+8 : i+k+8]
+			g := eqMaskBit(a8[0], v) |
+				eqMaskBit(a8[1], v)<<1 |
+				eqMaskBit(a8[2], v)<<2 |
+				eqMaskBit(a8[3], v)<<3 |
+				eqMaskBit(a8[4], v)<<4 |
+				eqMaskBit(a8[5], v)<<5 |
+				eqMaskBit(a8[6], v)<<6 |
+				eqMaskBit(a8[7], v)<<7
+			w |= g << uint(k)
 		}
 		//cm:allow ctbranch -- aggregated hit-word store elision keeps misses a pure read stream
 		if w != 0 {

@@ -31,38 +31,60 @@ func allocFixture(t *testing.T, n int, q uint64, numRHS int) (*Ring, Poly, Poly,
 	return r, a, d, rhs, bits
 }
 
+// The pins run under every available dispatch path (generic, unrolled,
+// and avx2 where the host supports it): the unrolled path must not let
+// a re-slice escape, and the assembly drivers' 64-word stack buffers
+// must stay stack-allocated (//go:noescape on the stubs).
+
 func TestSubCmpMultiBitsZeroAllocs(t *testing.T) {
-	for _, fam := range addCmpFamilies {
-		t.Run(fam.name, func(t *testing.T) {
-			r, a, d, rhs, bits := allocFixture(t, fam.n, fam.q, 3)
-			if avg := testing.AllocsPerRun(100, func() {
-				r.SubCmpMultiBits(a, d, rhs, bits, 0)
-			}); avg != 0 {
-				t.Fatalf("SubCmpMultiBits allocates %.1f times per call, want 0", avg)
-			}
-			// Unaligned base takes the scalar prologue/epilogue path too.
-			if avg := testing.AllocsPerRun(100, func() {
-				r.SubCmpMultiBits(a, d, rhs, bits, 37)
-			}); avg != 0 {
-				t.Fatalf("SubCmpMultiBits (unaligned) allocates %.1f times per call, want 0", avg)
+	for _, p := range AvailableKernels() {
+		t.Run(p.String(), func(t *testing.T) {
+			for _, fam := range addCmpFamilies {
+				t.Run(fam.name, func(t *testing.T) {
+					r, a, d, rhs, bits := allocFixture(t, fam.n, fam.q, 3)
+					withKernel(t, p, func() {
+						if avg := testing.AllocsPerRun(100, func() {
+							r.SubCmpMultiBits(a, d, rhs, bits, 0)
+						}); avg != 0 {
+							t.Fatalf("SubCmpMultiBits allocates %.1f times per call, want 0", avg)
+						}
+						// Unaligned base takes the scalar prologue/epilogue path too.
+						if avg := testing.AllocsPerRun(100, func() {
+							r.SubCmpMultiBits(a, d, rhs, bits, 37)
+						}); avg != 0 {
+							t.Fatalf("SubCmpMultiBits (unaligned) allocates %.1f times per call, want 0", avg)
+						}
+					})
+				})
 			}
 		})
 	}
 }
 
 func TestAddCmpBitsZeroAllocs(t *testing.T) {
-	for _, fam := range addCmpFamilies {
-		t.Run(fam.name, func(t *testing.T) {
-			r, a, d, rhs, bits := allocFixture(t, fam.n, fam.q, 1)
-			if avg := testing.AllocsPerRun(100, func() {
-				r.AddCmpBits(a, d, rhs[0], bits[0], 0)
-			}); avg != 0 {
-				t.Fatalf("AddCmpBits allocates %.1f times per call, want 0", avg)
-			}
-			if avg := testing.AllocsPerRun(100, func() {
-				CmpEqScalarBits(a, rhs[0][0], bits[0], 5)
-			}); avg != 0 {
-				t.Fatalf("CmpEqScalarBits allocates %.1f times per call, want 0", avg)
+	for _, p := range AvailableKernels() {
+		t.Run(p.String(), func(t *testing.T) {
+			for _, fam := range addCmpFamilies {
+				t.Run(fam.name, func(t *testing.T) {
+					r, a, d, rhs, bits := allocFixture(t, fam.n, fam.q, 1)
+					withKernel(t, p, func() {
+						if avg := testing.AllocsPerRun(100, func() {
+							r.AddCmpBits(a, d, rhs[0], bits[0], 0)
+						}); avg != 0 {
+							t.Fatalf("AddCmpBits allocates %.1f times per call, want 0", avg)
+						}
+						if avg := testing.AllocsPerRun(100, func() {
+							r.AddCmpBits(a, d, rhs[0], bits[0], 37)
+						}); avg != 0 {
+							t.Fatalf("AddCmpBits (unaligned) allocates %.1f times per call, want 0", avg)
+						}
+						if avg := testing.AllocsPerRun(100, func() {
+							CmpEqScalarBits(a, rhs[0][0], bits[0], 5)
+						}); avg != 0 {
+							t.Fatalf("CmpEqScalarBits allocates %.1f times per call, want 0", avg)
+						}
+					})
+				})
 			}
 		})
 	}
